@@ -1,0 +1,86 @@
+"""A1 (ablation) — Packet-record sampling rate vs dashboard fidelity.
+
+DESIGN.md ablation: constrained uplinks sample packet observations
+instead of shipping all of them.  Sweeps the sampling rate on the
+out-of-band path (isolating the sampling effect from in-band transport
+loss) and measures what the dashboard loses: uplink bytes go down, but
+the PDR estimate becomes noisier and per-link evidence thins out.
+"""
+
+from repro.analysis.compare import pdr_estimation_error
+from repro.analysis.report import ExperimentReport
+from repro.monitor import metrics
+
+from benchmarks.common import cached_scenario, emit, small_monitored_config
+
+RATES = (1.0, 0.5, 0.25, 0.1)
+
+
+def run_sweep():
+    rows = []
+    for rate in RATES:
+        config = small_monitored_config(packet_sample_rate=rate)
+        result = cached_scenario(config)
+        comparison = pdr_estimation_error(
+            result.store,
+            true_sent=result.truth.total_frag_sent,
+            true_delivered=result.truth.total_frag_delivered,
+        )
+        links = metrics.link_quality(result.store)
+        duration = config.warmup_s + config.duration_s
+        rows.append({
+            "rate": rate,
+            "uplink_bytes_per_s": result.uplink_bytes_total() / duration,
+            "records": result.telemetry_records_stored(),
+            "observed_pdr": comparison.observed_pdr,
+            "true_pdr": comparison.true_pdr,
+            "pdr_error": comparison.absolute_error,
+            "links_seen": len(links),
+        })
+    return rows
+
+
+def build_report(rows):
+    report = ExperimentReport(
+        experiment_id="A1",
+        title="ablation: packet-record sampling rate vs dashboard fidelity",
+        expectation=(
+            "uplink bytes scale with the sampling rate; hash-consistent "
+            "sampling (all observers sample the same packets) keeps the PDR "
+            "estimate unbiased — independent per-node sampling would bias "
+            "it down by the sampling factor; link coverage shrinks slowly"
+        ),
+        headers=["sample_rate", "uplink_B/s", "records", "observed_pdr", "true_pdr", "pdr_err", "links"],
+    )
+    for row in rows:
+        report.add_row(
+            f"{row['rate']:.0%}",
+            f"{row['uplink_bytes_per_s']:.0f}",
+            row["records"],
+            f"{row['observed_pdr']:.1%}",
+            f"{row['true_pdr']:.1%}",
+            f"{row['pdr_error']:.3f}",
+            row["links_seen"],
+        )
+    return report
+
+
+def test_a1_sampling_fidelity(benchmark):
+    rows = run_sweep()
+    emit(build_report(rows))
+    # Byte rate drops with the sampling rate.
+    assert rows[0]["uplink_bytes_per_s"] > rows[-1]["uplink_bytes_per_s"] * 2
+    # Full capture is exact; sampled estimates stay within 10 percentage
+    # points (unbiased but noisy at 10%).
+    assert rows[0]["pdr_error"] < 0.01
+    for row in rows:
+        assert row["pdr_error"] < 0.10
+    # Most links keep at least some evidence even at the lowest rate.
+    assert rows[-1]["links_seen"] > rows[0]["links_seen"] * 0.6
+
+    result = cached_scenario(small_monitored_config(packet_sample_rate=0.1))
+    benchmark(lambda: metrics.link_quality(result.store))
+
+
+if __name__ == "__main__":
+    emit(build_report(run_sweep()))

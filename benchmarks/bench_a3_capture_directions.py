@@ -1,0 +1,133 @@
+"""A3 (ablation) — which packet directions must the client capture?
+
+The paper's client reports "in- and outgoing" packets.  This ablation
+runs the same mesh with clients capturing both directions, IN only, and
+OUT only, and shows which dashboard metrics survive each cut:
+
+* link quality (RSSI/SNR) needs IN records,
+* PDR needs *both* (origin OUT at the source, IN at the destination),
+* airtime/duty accounting needs OUT records.
+
+The upshot — and the reason the paper ships both — is that no single
+direction supports the whole dashboard.
+"""
+
+import math
+
+from repro.analysis.report import ExperimentReport
+from repro.monitor import metrics
+from repro.monitor.client import MonitorClient, MonitorClientConfig
+from repro.monitor.uplink import OutOfBandUplink
+from repro.scenario.config import MonitorMode, ScenarioConfig, WorkloadSpec
+from repro.scenario.runner import Scenario
+
+from benchmarks.common import emit
+
+VARIANTS = (
+    ("both", True, True),
+    ("in_only", True, False),
+    ("out_only", False, True),
+)
+
+
+def run_variant(name: str, capture_in: bool, capture_out: bool):
+    config = ScenarioConfig(
+        seed=131,
+        n_nodes=16,
+        spreading_factor=7,
+        monitor_mode=MonitorMode.NONE,  # clients are wired manually below
+        warmup_s=900.0,
+        duration_s=1800.0,
+        cooldown_s=60.0,
+        workload=WorkloadSpec(kind="periodic", interval_s=180.0, payload_bytes=24),
+    )
+    scenario = Scenario(config)
+    from repro.monitor.server import MonitorServer
+    from repro.monitor.storage import MetricsStore
+
+    store = MetricsStore()
+    server = MonitorServer(store=store, clock=lambda: scenario.sim.now)
+    client_config = MonitorClientConfig(
+        report_interval_s=60.0, capture_in=capture_in, capture_out=capture_out,
+    )
+    clients = {}
+    for address, node in scenario.nodes.items():
+        uplink = OutOfBandUplink(
+            scenario.sim, server, scenario.rng.stream(f"a3.{address}")
+        )
+        clients[address] = MonitorClient(scenario.sim, node, uplink, client_config)
+    result = scenario.run()
+
+    pairs = metrics.pdr_matrix(store)
+    sent = sum(pair.sent for pair in pairs.values())
+    delivered = sum(pair.delivered for pair in pairs.values())
+    observed_pdr = delivered / sent if sent else math.nan
+    links = metrics.link_quality(store)
+    airtime = sum(metrics.airtime_by_node(store).values())
+    return {
+        "variant": name,
+        "records": store.packet_record_count(),
+        "links_seen": len(links),
+        "observed_pdr": observed_pdr,
+        "true_pdr": result.truth.frag_pdr,
+        "airtime_observed_s": airtime,
+        "airtime_true_s": result.total_mesh_airtime_s(),
+    }
+
+
+def run_sweep():
+    return [run_variant(*variant) for variant in VARIANTS]
+
+
+def build_report(rows):
+    report = ExperimentReport(
+        experiment_id="A3",
+        title="ablation: packet capture directions (the paper captures both)",
+        expectation=(
+            "IN-only keeps link quality but loses PDR (no origin evidence) "
+            "and airtime; OUT-only keeps airtime but loses links and "
+            "delivery confirmation; only both directions support the full "
+            "dashboard"
+        ),
+        headers=["capture", "records", "links", "observed_pdr", "true_pdr", "airtime_obs_s", "airtime_true_s"],
+    )
+    for row in rows:
+        pdr = row["observed_pdr"]
+        report.add_row(
+            row["variant"],
+            row["records"],
+            row["links_seen"],
+            "-" if math.isnan(pdr) else f"{pdr:.1%}",
+            f"{row['true_pdr']:.1%}",
+            f"{row['airtime_observed_s']:.1f}",
+            f"{row['airtime_true_s']:.1f}",
+        )
+    return report
+
+
+def test_a3_capture_directions(benchmark):
+    rows = run_sweep()
+    emit(build_report(rows))
+    by_variant = {row["variant"]: row for row in rows}
+    both = by_variant["both"]
+    in_only = by_variant["in_only"]
+    out_only = by_variant["out_only"]
+    # Both directions: full dashboard.
+    assert abs(both["observed_pdr"] - both["true_pdr"]) < 0.05
+    assert both["airtime_observed_s"] == out_only["airtime_observed_s"]
+    # IN only: links survive, PDR has no sent-side evidence (NaN).
+    assert in_only["links_seen"] == both["links_seen"]
+    assert math.isnan(in_only["observed_pdr"])
+    assert in_only["airtime_observed_s"] == 0.0
+    # OUT only: airtime survives, links vanish, delivery unconfirmable.
+    assert out_only["links_seen"] == 0
+    assert out_only["airtime_observed_s"] > both["airtime_true_s"] * 0.8
+    assert out_only["observed_pdr"] == 0.0
+
+    # Benchmark unit: PDR matrix on the full-capture store (the heaviest query).
+    from repro.monitor.storage import MetricsStore
+    benchmark(lambda: metrics.pdr_matrix(MetricsStore()))
+
+
+if __name__ == "__main__":
+    emit(build_report(run_sweep()))

@@ -1,0 +1,124 @@
+"""F10 — Route convergence time: cold start and churn recovery.
+
+Measures (a) how long a cold-booted mesh takes until every node has a
+route to every other node, and (b) after killing a central relay, how
+long until the network re-converges around it — both visible to an
+administrator through the dashboard's route-count panel.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.mesh.config import MeshConfig
+from repro.scenario.config import ScenarioConfig, WorkloadSpec
+from repro.scenario.runner import Scenario
+
+from benchmarks.common import emit
+
+SIZES = (9, 25)
+
+
+def fully_converged(nodes, exclude=()) -> bool:
+    """Every live node has a route to every other live node, and no route
+    uses a dead node as its next hop (a stale route through a corpse is not
+    convergence)."""
+    live = [node for address, node in nodes.items() if address not in exclude]
+    dead = set(exclude)
+    for node in live:
+        for other in live:
+            if other.address == node.address:
+                continue
+            next_hop = node.routes.next_hop(other.address)
+            if next_hop is None or next_hop in dead:
+                return False
+    return True
+
+
+def convergence_time(scenario, exclude=(), step=10.0, limit=7200.0):
+    sim = scenario.sim
+    start = sim.now
+    deadline = start + limit
+    while sim.now < deadline:
+        if fully_converged(scenario.nodes, exclude=exclude):
+            return sim.now - start
+        sim.run(until=sim.now + step)
+    return None
+
+
+def run_experiment():
+    rows = []
+    for size in SIZES:
+        config = ScenarioConfig(
+            seed=91,
+            n_nodes=size,
+            spreading_factor=7,
+            warmup_s=1.0,
+            duration_s=1.0,
+            cooldown_s=1.0,
+            mesh=MeshConfig(),
+            workload=WorkloadSpec(kind="none"),
+        )
+        scenario = Scenario(config)
+        cold = convergence_time(scenario)
+
+        # Churn: kill the most-central node, measure re-convergence of the rest.
+        centre = scenario.topology.nearest_to(scenario.topology.centroid())
+        scenario.nodes[centre].fail()
+        if centre in scenario.clients:
+            scenario.clients[centre].stop()
+        churn = convergence_time(scenario, exclude=(centre,))
+        rows.append({
+            "n_nodes": size,
+            "cold_start_s": cold,
+            "failed_node": centre,
+            "reconverge_s": churn,
+            "route_interval_s": config.mesh.route_interval_s,
+        })
+    return rows
+
+
+def build_report(rows):
+    report = ExperimentReport(
+        experiment_id="F10",
+        title="route convergence: cold start and churn recovery",
+        expectation=(
+            "cold start converges within a few routing-broadcast periods "
+            "(diameter of the grid x interval); recovery after killing a "
+            "central relay takes longer — stale routes must time out via "
+            "the neighbor timeout before alternatives are adopted"
+        ),
+        headers=["n_nodes", "cold_start_s", "killed_node", "reconverge_s", "route_bcast_s"],
+    )
+    for row in rows:
+        report.add_row(
+            row["n_nodes"],
+            "never" if row["cold_start_s"] is None else f"{row['cold_start_s']:.0f}",
+            row["failed_node"],
+            "never" if row["reconverge_s"] is None else f"{row['reconverge_s']:.0f}",
+            f"{row['route_interval_s']:.0f}",
+        )
+    return report
+
+
+def test_f10_convergence(benchmark):
+    rows = run_experiment()
+    emit(build_report(rows))
+    for row in rows:
+        assert row["cold_start_s"] is not None
+        assert row["reconverge_s"] is not None
+        # Cold start within ~6 routing periods.
+        assert row["cold_start_s"] < 6 * row["route_interval_s"]
+    # Bigger mesh needs at least as long (more hops to propagate).
+    assert rows[-1]["cold_start_s"] >= rows[0]["cold_start_s"] - 60.0
+
+    # Benchmark unit: one full-mesh convergence check (the polling predicate).
+    config = ScenarioConfig(
+        seed=91, n_nodes=25, spreading_factor=7,
+        warmup_s=1.0, duration_s=1.0, cooldown_s=1.0,
+        workload=WorkloadSpec(kind="none"),
+    )
+    scenario = Scenario(config)
+    scenario.sim.run(until=1800.0)
+    benchmark(lambda: fully_converged(scenario.nodes))
+
+
+if __name__ == "__main__":
+    emit(build_report(run_experiment()))

@@ -1,0 +1,84 @@
+"""F1 — Mesh delivery and hop count vs network size.
+
+Sweeps grid deployments of 9..49 nodes (all traffic converging on the
+gateway corner, the paper's deployment shape) and regenerates the
+PDR / mean-hop-count / airtime series.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.monitor import metrics
+
+from benchmarks.common import cached_scenario, emit, small_monitored_config
+
+SIZES = (9, 16, 25, 36, 49)
+
+
+def mean_route_metric(result) -> float:
+    """Average converged route metric towards the gateway."""
+    gateway = result.config.gateway
+    values = [
+        node.routes.metric(gateway)
+        for node in result.nodes.values()
+        if node.address != gateway and node.routes.metric(gateway) is not None
+    ]
+    return sum(values) / len(values) if values else float("nan")
+
+
+def run_sweep():
+    rows = []
+    for size in SIZES:
+        config = small_monitored_config(n_nodes=size)
+        result = cached_scenario(config)
+        rows.append({
+            "n_nodes": size,
+            "msg_pdr": result.truth.msg_pdr,
+            "mean_hops": mean_route_metric(result),
+            "mean_latency_s": result.truth.mean_latency_s,
+            "airtime_per_node_s": result.total_mesh_airtime_s() / size,
+            "collisions": result.truth.phy_collisions,
+        })
+    return rows
+
+
+def build_report(rows):
+    report = ExperimentReport(
+        experiment_id="F1",
+        title="mesh PDR, hop count and airtime vs network size (convergecast)",
+        expectation=(
+            "PDR stays high for small meshes and degrades with size as the "
+            "gateway neighborhood congests; mean hop count and latency grow "
+            "with the grid diagonal; collisions grow superlinearly"
+        ),
+        headers=["n_nodes", "msg_pdr", "mean_hops", "latency_s", "airtime/node_s", "collisions"],
+    )
+    for row in rows:
+        report.add_row(
+            row["n_nodes"],
+            f"{row['msg_pdr']:.1%}",
+            f"{row['mean_hops']:.2f}",
+            f"{row['mean_latency_s']:.2f}",
+            f"{row['airtime_per_node_s']:.1f}",
+            row["collisions"],
+        )
+    return report
+
+
+def test_f1_pdr_vs_size(benchmark):
+    rows = run_sweep()
+    emit(build_report(rows))
+    by_size = {row["n_nodes"]: row for row in rows}
+    # Hop count grows with the grid.
+    assert by_size[49]["mean_hops"] > by_size[9]["mean_hops"]
+    # Small meshes deliver nearly everything.
+    assert by_size[9]["msg_pdr"] > 0.9
+    assert by_size[25]["msg_pdr"] > 0.85
+    # Collisions increase with size.
+    assert by_size[49]["collisions"] > by_size[9]["collisions"]
+
+    # Benchmark unit: computing the dashboard PDR matrix on the largest run.
+    result = cached_scenario(small_monitored_config(n_nodes=49))
+    benchmark(lambda: metrics.pdr_matrix(result.store))
+
+
+if __name__ == "__main__":
+    emit(build_report(run_sweep()))

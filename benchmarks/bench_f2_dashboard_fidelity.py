@@ -1,0 +1,91 @@
+"""F2 — Dashboard fidelity vs telemetry uplink loss.
+
+The server only knows what survives the uplink.  Sweeps out-of-band loss
+{0, 5, 10, 20, 40} % (with client-side at-least-once retries) and
+compares the dashboard's PDR and link RSSI against simulator ground
+truth — quantifying how robust the observed picture is.
+"""
+
+from repro.analysis.compare import link_rssi_error, pdr_estimation_error
+from repro.analysis.report import ExperimentReport
+
+from benchmarks.common import cached_scenario, emit, small_monitored_config
+
+LOSS_RATES = (0.0, 0.05, 0.10, 0.20, 0.40)
+
+
+def run_sweep():
+    rows = []
+    for loss in LOSS_RATES:
+        config = small_monitored_config(uplink_loss=loss)
+        result = cached_scenario(config)
+        comparison = pdr_estimation_error(
+            result.store,
+            true_sent=result.truth.total_frag_sent,
+            true_delivered=result.truth.total_frag_delivered,
+        )
+        rssi_errors = link_rssi_error(
+            result.store, result.topology, result.link_model, result.nodes[1].params
+        )
+        mean_rssi_error = (
+            sum(rssi_errors.values()) / len(rssi_errors) if rssi_errors else float("nan")
+        )
+        rows.append({
+            "loss": loss,
+            "telemetry_delivery": result.telemetry_delivery_ratio(),
+            "true_pdr": comparison.true_pdr,
+            "observed_pdr": comparison.observed_pdr,
+            "pdr_error": comparison.absolute_error,
+            "rssi_mae_db": mean_rssi_error,
+            "duplicates": result.server.stats.duplicates,
+        })
+    return rows
+
+
+def build_report(rows):
+    report = ExperimentReport(
+        experiment_id="F2",
+        title="dashboard fidelity vs out-of-band uplink loss",
+        expectation=(
+            "at-least-once retries + server dedup keep the dashboard "
+            "accurate: telemetry eventually arrives, PDR error stays small "
+            "even at 40% request loss; duplicates grow with loss but never "
+            "reach the store"
+        ),
+        headers=["uplink_loss", "telemetry_delivery", "true_pdr", "observed_pdr", "pdr_abs_err", "rssi_MAE_dB", "dedup_hits"],
+    )
+    for row in rows:
+        report.add_row(
+            f"{row['loss']:.0%}",
+            f"{row['telemetry_delivery']:.1%}",
+            f"{row['true_pdr']:.1%}",
+            f"{row['observed_pdr']:.1%}",
+            f"{row['pdr_error']:.3f}",
+            f"{row['rssi_mae_db']:.2f}",
+            row["duplicates"],
+        )
+    return report
+
+
+def test_f2_dashboard_fidelity(benchmark):
+    rows = run_sweep()
+    emit(build_report(rows))
+    # Retries keep the picture almost complete even under heavy loss.
+    for row in rows:
+        assert row["pdr_error"] < 0.05, f"loss={row['loss']} error={row['pdr_error']}"
+        assert row["telemetry_delivery"] > 0.9
+    # Duplicates appear only when retries happen.
+    assert rows[0]["duplicates"] == 0
+    assert rows[-1]["duplicates"] > 0
+
+    # Benchmark: one full fidelity comparison on the lossiest run.
+    result = cached_scenario(small_monitored_config(uplink_loss=0.4))
+    benchmark(lambda: pdr_estimation_error(
+        result.store,
+        true_sent=result.truth.total_frag_sent,
+        true_delivered=result.truth.total_frag_delivered,
+    ))
+
+
+if __name__ == "__main__":
+    emit(build_report(run_sweep()))

@@ -1,0 +1,91 @@
+"""F3 — Topology reconstruction accuracy vs observation window.
+
+The server infers the radio graph from telemetry.  This bench replays
+the same monitored run and reconstructs the topology using only the
+first W seconds of telemetry, for growing W — regenerating the
+precision/recall-vs-time convergence curve.
+"""
+
+from repro.analysis.compare import true_link_set
+from repro.analysis.reconstruct import reconstruct_topology
+from repro.analysis.report import ExperimentReport
+from repro.monitor import metrics
+from repro.monitor.storage import MetricsStore
+
+from benchmarks.common import cached_scenario, emit, small_monitored_config
+
+WINDOWS = (30.0, 60.0, 120.0, 300.0, 2400.0)
+
+
+def replay_store(result, until: float) -> MetricsStore:
+    """A store containing only records with timestamp <= until."""
+    partial = MetricsStore()
+    for node in result.store.nodes():
+        for record in result.store.packet_records(node=node, until=until):
+            partial.add_packet_record(record)
+        for record in result.store.status_records(node, until=until):
+            partial.add_status_record(record)
+    return partial
+
+
+def run_sweep():
+    config = small_monitored_config()
+    result = cached_scenario(config)
+    truth = true_link_set(result.topology, result.link_model, result.nodes[1].params)
+    rows = []
+    for window in WINDOWS:
+        partial = replay_store(result, until=window)
+        inferred = set(reconstruct_topology(partial, min_frames=2))
+        correct = len(truth & inferred)
+        precision = correct / len(inferred) if inferred else float("nan")
+        recall = correct / len(truth) if truth else float("nan")
+        rows.append({
+            "window_s": window,
+            "true_links": len(truth),
+            "inferred": len(inferred),
+            "precision": precision,
+            "recall": recall,
+        })
+    return rows, result
+
+
+def build_report(rows):
+    report = ExperimentReport(
+        experiment_id="F3",
+        title="topology reconstruction accuracy vs observation window",
+        expectation=(
+            "recall climbs as hellos and data traffic exercise more links "
+            "and stabilises near 1.0 within a few hello periods; precision "
+            "stays near 1.0 throughout (packet evidence cannot invent links)"
+        ),
+        headers=["window_s", "true_links", "inferred_links", "precision", "recall"],
+    )
+    for row in rows:
+        report.add_row(
+            f"{row['window_s']:.0f}",
+            row["true_links"],
+            row["inferred"],
+            f"{row['precision']:.2f}",
+            f"{row['recall']:.2f}",
+        )
+    return report
+
+
+def test_f3_topology_reconstruction(benchmark):
+    rows, result = run_sweep()
+    emit(build_report(rows))
+    # Recall climbs (small per-window jitter tolerated) and ends high.
+    recalls = [row["recall"] for row in rows]
+    assert all(b >= a - 0.03 for a, b in zip(recalls, recalls[1:]))
+    assert recalls[-1] > 0.95
+    assert recalls[-1] >= recalls[0]
+    # Precision stays high at every window.
+    assert all(row["precision"] > 0.9 for row in rows if row["inferred"])
+
+    # Benchmark: one full reconstruction over the whole store.
+    benchmark(lambda: reconstruct_topology(result.store, min_frames=2))
+
+
+if __name__ == "__main__":
+    rows, _ = run_sweep()
+    emit(build_report(rows))

@@ -1,0 +1,110 @@
+"""F7 — Fault detection latency vs report interval.
+
+Kills a node mid-run and measures the time until the silent-node alert
+fires, sweeping the client's report interval — the operational knob of
+the paper's tool: shorter intervals cost more uplink bytes (T2) but
+detect failures faster.
+"""
+
+from repro.analysis.report import ExperimentReport
+from repro.monitor.alerts import AlertEngine, SilentNodeRule
+from repro.scenario.config import ScenarioConfig, WorkloadSpec
+from repro.scenario.runner import Scenario
+
+from benchmarks.common import emit
+
+INTERVALS = (15.0, 30.0, 60.0, 120.0)
+VICTIM = 13  # centre of the 25-node grid
+
+
+def run_cell(report_interval: float, seed: int = 61):
+    config = ScenarioConfig(
+        seed=seed,
+        n_nodes=25,
+        spreading_factor=7,
+        report_interval_s=report_interval,
+        warmup_s=900.0,
+        duration_s=1.0,
+        cooldown_s=1.0,
+        workload=WorkloadSpec(kind="none"),
+    )
+    scenario = Scenario(config)
+    sim = scenario.sim
+    sim.run(until=config.warmup_s)
+    threshold = 3 * report_interval + 10.0
+    engine = AlertEngine(scenario.store, rules=[SilentNodeRule(max_silence_s=threshold)])
+    engine.evaluate(sim.now)
+    assert not engine.active(), "alert fired before the fault"
+
+    fault_time = sim.now
+    scenario.nodes[VICTIM].fail()
+    scenario.clients[VICTIM].stop()
+
+    detected_at = {"time": None}
+
+    def poll():
+        raised = engine.evaluate(sim.now)
+        if any(alert.node == VICTIM for alert in raised) and detected_at["time"] is None:
+            detected_at["time"] = sim.now
+
+    handle = sim.call_every(5.0, poll)
+    sim.run(until=fault_time + 20 * report_interval + 600.0)
+    handle.cancel()
+    if detected_at["time"] is None:
+        return None
+    return detected_at["time"] - fault_time
+
+
+def run_sweep():
+    rows = []
+    for interval in INTERVALS:
+        latency = run_cell(interval)
+        rows.append({
+            "report_interval_s": interval,
+            "detection_latency_s": latency,
+            "threshold_s": 3 * interval + 10.0,
+        })
+    return rows
+
+
+def build_report(rows):
+    report = ExperimentReport(
+        experiment_id="F7",
+        title="silent-node detection latency vs report interval",
+        expectation=(
+            "detection latency scales linearly with the report interval "
+            "(the silence threshold is 3 missed reports); ~1 minute at a "
+            "15 s interval, ~6-7 minutes at 120 s"
+        ),
+        headers=["report_interval_s", "silence_threshold_s", "detection_latency_s"],
+    )
+    for row in rows:
+        latency = row["detection_latency_s"]
+        report.add_row(
+            f"{row['report_interval_s']:.0f}",
+            f"{row['threshold_s']:.0f}",
+            "undetected" if latency is None else f"{latency:.0f}",
+        )
+    return report
+
+
+def test_f7_fault_detection(benchmark):
+    rows = run_sweep()
+    emit(build_report(rows))
+    latencies = [row["detection_latency_s"] for row in rows]
+    assert all(latency is not None for latency in latencies)
+    # Latency grows with the interval and respects the threshold ordering.
+    assert latencies[0] < latencies[-1]
+    for row in rows:
+        assert row["detection_latency_s"] >= row["threshold_s"] - row["report_interval_s"]
+        assert row["detection_latency_s"] <= row["threshold_s"] + 2 * row["report_interval_s"] + 30
+
+    # Benchmark unit: one alert-engine evaluation over a populated store.
+    from benchmarks.common import cached_scenario, small_monitored_config
+    result = cached_scenario(small_monitored_config())
+    engine = AlertEngine(result.store)
+    benchmark(lambda: engine.evaluate(result.sim.now))
+
+
+if __name__ == "__main__":
+    emit(build_report(run_sweep()))

@@ -1,0 +1,113 @@
+"""F8 — Multi-hop mesh vs single-gateway LoRaWAN star.
+
+The paper's framing: LoRaWAN is a star; recent work shows LoRa *meshes*.
+This bench puts both on the same 49-node field with the same PHY and
+regenerates the coverage comparison: delivery per distance ring from the
+gateway.  The star loses the outer rings (out of radio range); the mesh
+reaches them over multiple hops.
+"""
+
+import math
+
+from repro.analysis.report import ExperimentReport
+from repro.scenario.config import ScenarioConfig, WorkloadSpec
+from repro.scenario.runner import build_lorawan_star, run_scenario
+
+from benchmarks.common import emit
+
+CONFIG = ScenarioConfig(
+    seed=71,
+    n_nodes=49,
+    spreading_factor=7,
+    warmup_s=1800.0,
+    duration_s=3600.0,
+    report_interval_s=120.0,
+    workload=WorkloadSpec(kind="periodic", interval_s=600.0, payload_bytes=24),
+)
+
+N_RINGS = 4
+
+
+def ring_of(topology, gateway: int, node: int, ring_width_m: float) -> int:
+    """Ring index in units of the single-hop PHY range: ring 0 is within
+    one radio hop of the gateway, ring 1 within two, and so on."""
+    distance = topology.distance(gateway, node)
+    return min(int(distance / ring_width_m), N_RINGS - 1)
+
+
+def run_comparison():
+    mesh_result = run_scenario(CONFIG)
+    topology = mesh_result.topology
+
+    star_sim, star_network, _ = build_lorawan_star(CONFIG, topology=topology)
+    star_network.start()
+    star_sim.run(until=CONFIG.warmup_s + CONFIG.duration_s)
+
+    gateway = CONFIG.gateway
+    ring_width = mesh_result.link_model.max_range_m(mesh_result.nodes[gateway].params)
+
+    mesh_pair_pdr = mesh_result.truth.pair_pdr()
+    star_pdr = star_network.pdr_by_node()
+
+    rings = []
+    for ring_index in range(N_RINGS):
+        members = [
+            node for node in topology.nodes()
+            if node != gateway and ring_of(topology, gateway, node, ring_width) == ring_index
+        ]
+        if not members:
+            continue
+        mesh_values = [mesh_pair_pdr.get((node, gateway)) for node in members]
+        mesh_values = [value for value in mesh_values if value is not None]
+        star_values = [star_pdr.get(node) for node in members]
+        star_values = [value for value in star_values if value is not None and not math.isnan(value)]
+        rings.append({
+            "ring": ring_index,
+            "nodes": len(members),
+            "distance_m": f"<{(ring_index + 1) * ring_width:.0f}",
+            "mesh_pdr": sum(mesh_values) / len(mesh_values) if mesh_values else float("nan"),
+            "star_pdr": sum(star_values) / len(star_values) if star_values else float("nan"),
+        })
+    return rings, mesh_result
+
+
+def build_report(rings):
+    report = ExperimentReport(
+        experiment_id="F8",
+        title="coverage: multi-hop mesh vs single-gateway LoRaWAN star (49 nodes)",
+        expectation=(
+            "inner ring: both deliver; outer rings: the star's PDR collapses "
+            "once nodes fall outside single-hop radio range, while the mesh "
+            "keeps delivering over multiple hops"
+        ),
+        headers=["ring", "nodes", "distance", "mesh_pdr", "star_pdr"],
+    )
+    for ring in rings:
+        report.add_row(
+            ring["ring"],
+            ring["nodes"],
+            ring["distance_m"],
+            f"{ring['mesh_pdr']:.1%}",
+            f"{ring['star_pdr']:.1%}" if ring["star_pdr"] == ring["star_pdr"] else "-",
+        )
+    return report
+
+
+def test_f8_mesh_vs_star(benchmark):
+    rings, mesh_result = run_comparison()
+    emit(build_report(rings))
+    inner, outer = rings[0], rings[-1]
+    # Inner ring: both technologies work.
+    assert inner["star_pdr"] > 0.8
+    assert inner["mesh_pdr"] > 0.8
+    # Outer ring: the star collapses, the mesh keeps a clear advantage.
+    assert outer["star_pdr"] < 0.2
+    assert outer["mesh_pdr"] > outer["star_pdr"] + 0.3
+
+    # Benchmark unit: ground-truth pair PDR extraction on the mesh run.
+    benchmark(lambda: mesh_result.truth.pair_pdr())
+
+
+if __name__ == "__main__":
+    rings, _ = run_comparison()
+    emit(build_report(rings))

@@ -1,0 +1,61 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench is a pytest-benchmark test that (a) runs the experiment's
+parameter sweep, (b) prints the regenerated table/figure series through
+:class:`repro.analysis.report.ExperimentReport`, and (c) benchmarks one
+representative unit of work so ``pytest benchmarks/ --benchmark-only``
+also yields timing data.
+
+Scenario durations here are sized for laptop runs (tens of seconds per
+bench); the shapes they demonstrate are stable across longer runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+from repro.scenario.config import MonitorMode, ScenarioConfig, WorkloadSpec
+from repro.scenario.results import ScenarioResult
+from repro.scenario.runner import run_scenario
+
+#: Cache so parametrised benches that need the same scenario reuse one run.
+_CACHE: Dict[tuple, ScenarioResult] = {}
+
+
+def cached_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Run (or reuse) the scenario for ``config``."""
+    key = (
+        config.seed, config.n_nodes, config.spreading_factor, config.protocol,
+        config.monitor_mode, config.report_interval_s, config.uplink_loss,
+        config.packet_sample_rate, config.warmup_s, config.duration_s,
+        config.workload.kind, config.workload.interval_s, config.workload.payload_bytes,
+    )
+    if key not in _CACHE:
+        _CACHE[key] = run_scenario(config)
+    return _CACHE[key]
+
+
+def emit(report) -> None:
+    """Print a report table to the bench output (visible with ``-s`` and in
+    the captured section of the run log)."""
+    print()
+    print(report.render())
+    sys.stdout.flush()
+
+
+def small_monitored_config(**overrides) -> ScenarioConfig:
+    """The default 25-node monitored scenario most benches sweep around."""
+    base = dict(
+        seed=101,
+        n_nodes=25,
+        spreading_factor=7,
+        monitor_mode=MonitorMode.OUT_OF_BAND,
+        report_interval_s=60.0,
+        warmup_s=1200.0,
+        duration_s=1800.0,
+        cooldown_s=60.0,
+        workload=WorkloadSpec(kind="periodic", interval_s=300.0, payload_bytes=24),
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)

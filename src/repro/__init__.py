@@ -1,0 +1,57 @@
+"""repro — a monitoring system for LoRa mesh networks.
+
+Reproduction of Capella Del Solar, Solé & Freitag, *Towards a Monitoring
+System for a LoRa Mesh Network* (ICDCS 2022), as a complete simulated
+stack: SX127x-class PHY, LoRaMesher-style distance-vector mesh (plus a
+managed-flooding baseline), and — the paper's contribution — a monitoring
+client on every node shipping per-packet and node-status telemetry to a
+server with a dashboard, alerting and an HTTP API.
+
+Quick start::
+
+    from repro import ScenarioConfig, run_scenario
+    from repro.monitor.dashboard import Dashboard
+
+    result = run_scenario(ScenarioConfig(n_nodes=16, duration_s=1800))
+    print(Dashboard(result.store).render_text(result.sim.now))
+
+See README.md for the architecture overview and DESIGN.md for the
+experiment index.
+"""
+
+from repro.errors import ReproError
+from repro.mesh import BROADCAST, MeshConfig, MeshNode, Packet, PacketType
+from repro.monitor import (
+    Dashboard,
+    MetricsStore,
+    MonitorClient,
+    MonitorClientConfig,
+    MonitorServer,
+)
+from repro.phy import LoRaParams, time_on_air
+from repro.scenario import MonitorMode, ScenarioConfig, WorkloadSpec, run_scenario
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "BROADCAST",
+    "MeshConfig",
+    "MeshNode",
+    "Packet",
+    "PacketType",
+    "Dashboard",
+    "MetricsStore",
+    "MonitorClient",
+    "MonitorClientConfig",
+    "MonitorServer",
+    "LoRaParams",
+    "time_on_air",
+    "MonitorMode",
+    "ScenarioConfig",
+    "WorkloadSpec",
+    "run_scenario",
+    "Simulator",
+    "__version__",
+]

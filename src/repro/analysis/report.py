@@ -1,0 +1,79 @@
+"""Experiment report formatting.
+
+Every bench prints its table through :class:`ExperimentReport` so the
+output format is uniform and EXPERIMENTS.md fragments can be regenerated
+mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class ExperimentReport:
+    """A titled table with an expectation note.
+
+    Attributes:
+        experiment_id: e.g. "T2" or "F4".
+        title: one-line description.
+        expectation: the qualitative shape the paper's design implies
+            (there are no published absolute numbers for this paper —
+            see DESIGN.md's source-text caveat).
+        headers: column names.
+        rows: stringifiable cell values.
+    """
+
+    experiment_id: str
+    title: str
+    expectation: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [[str(cell) for cell in row] for row in self.rows]
+        widths = [len(header) for header in self.headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            f"expected shape: {self.expectation}",
+            "",
+            " | ".join(header.ljust(widths[index]) for index, header in enumerate(self.headers)),
+            "-+-".join("-" * widths[index] for index in range(len(self.headers))),
+        ]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """Markdown rendering for EXPERIMENTS.md."""
+        lines = [
+            f"### {self.experiment_id}: {self.title}",
+            "",
+            f"*Expected shape:* {self.expectation}",
+            "",
+            "| " + " | ".join(str(header) for header in self.headers) + " |",
+            "|" + "|".join("---" for _ in self.headers) + "|",
+        ]
+        for row in self.rows:
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*Note:* {note}")
+        return "\n".join(lines)

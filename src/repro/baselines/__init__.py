@@ -1,0 +1,5 @@
+"""Baseline systems the mesh is compared against."""
+
+from repro.baselines.lorawan import LoRaWANGateway, LoRaWANNetwork, LoRaWANNode
+
+__all__ = ["LoRaWANGateway", "LoRaWANNetwork", "LoRaWANNode"]

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch everything library-specific with a single ``except`` clause
+while still distinguishing configuration mistakes from runtime protocol
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was used incorrectly (e.g. event in the past)."""
+
+
+class CodecError(ReproError):
+    """A packet or record could not be encoded or decoded."""
+
+
+class DecodeError(CodecError):
+    """Raw bytes could not be parsed into a packet or record."""
+
+
+class EncodeError(CodecError):
+    """A packet or record could not be serialized (e.g. field out of range)."""
+
+
+class RoutingError(ReproError):
+    """A routing operation failed (e.g. no route and no default)."""
+
+
+class TransportError(ReproError):
+    """Reliable transport failed permanently (retries exhausted)."""
+
+
+class DutyCycleError(ReproError):
+    """A transmission would violate the regional duty-cycle budget."""
+
+
+class StorageError(ReproError):
+    """The metrics store rejected an operation."""
+
+
+class IngestError(ReproError):
+    """The monitoring server rejected a telemetry batch."""

@@ -1,0 +1,32 @@
+"""LoRa mesh protocol stack (LoRaMesher-style).
+
+Layers, bottom-up:
+
+* ``packet``: byte-level frame codec shared by all layers,
+* ``mac``: CSMA/CAD medium access with per-hop ACK and retransmission,
+* ``neighbors``: hello-beacon neighbor table with link-quality EWMAs,
+* ``routing``: periodic distance-vector routing (the protocol LoRaMesher
+  implements on ESP32 hardware),
+* ``flooding``: managed-flooding alternative (Meshtastic-style), used as
+  the protocol baseline in experiment F4,
+* ``transport``: segmentation/reassembly for payloads beyond one frame,
+* ``node``: the per-node runtime gluing everything together and exposing
+  the packet in/out hooks the monitoring client attaches to.
+"""
+
+from repro.mesh.addressing import BROADCAST, is_valid_address
+from repro.mesh.config import MeshConfig
+from repro.mesh.endtoend import ReliableMessenger
+from repro.mesh.node import DeliveredMessage, MeshNode
+from repro.mesh.packet import Packet, PacketType
+
+__all__ = [
+    "BROADCAST",
+    "is_valid_address",
+    "MeshConfig",
+    "ReliableMessenger",
+    "MeshNode",
+    "DeliveredMessage",
+    "Packet",
+    "PacketType",
+]

@@ -1,0 +1,34 @@
+"""Node addressing.
+
+Mesh nodes use 16-bit addresses, like LoRaMesher (which derives them from
+the low bytes of the ESP32 MAC).  Address 0 is reserved and ``0xFFFF`` is
+the link-local broadcast.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Link-local broadcast address.
+BROADCAST = 0xFFFF
+
+#: Reserved null address.
+NULL_ADDRESS = 0x0000
+
+
+def is_valid_address(address: int) -> bool:
+    """Whether ``address`` is a legal unicast node address."""
+    return isinstance(address, int) and NULL_ADDRESS < address < BROADCAST
+
+
+def validate_address(address: int) -> int:
+    """Return ``address`` if it is a legal unicast address.
+
+    Raises:
+        ConfigurationError: otherwise.
+    """
+    if not is_valid_address(address):
+        raise ConfigurationError(
+            f"invalid node address {address!r}; must be 1..{BROADCAST - 1}"
+        )
+    return address

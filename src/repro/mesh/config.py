@@ -1,0 +1,95 @@
+"""Mesh stack configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """Tunables for the mesh protocol stack.
+
+    The defaults match a small LoRaMesher-style deployment on EU868 SF7:
+    hellos every 2 minutes, routing broadcasts every 5 minutes, generous
+    route timeouts (routes over LoRa are expensive to rebuild), and a
+    CSMA MAC with binary-exponential backoff and per-hop ACKs.
+
+    Attributes:
+        hello_interval_s: period of HELLO beacons.
+        route_interval_s: period of distance-vector ROUTE broadcasts.
+        neighbor_timeout_s: silence after which a neighbor is dropped.
+        route_timeout_s: staleness after which a route is flushed.
+        ack_timeout_s: per-hop ACK wait before retransmitting.
+        max_retries: retransmissions per hop before giving up.
+        csma_initial_backoff_s: first backoff window when the channel is busy.
+        csma_max_backoff_s: cap on the binary-exponential window.
+        csma_max_attempts: busy-channel deferrals before dropping a frame.
+        hop_limit: initial TTL for originated packets.
+        infinity_metric: DV metric treated as unreachable (poisoned).
+        jitter_s: uniform jitter applied to periodic broadcasts so nodes
+            booted together do not synchronise their beacons.
+        queue_limit: MAC queue capacity; overflow drops the newest frame
+            (tail drop, as LoRaMesher does).
+        duty_cycle_enforce: refuse transmissions that would bust the EU868
+            duty cycle (True) or transmit anyway and count violations.
+    """
+
+    hello_interval_s: float = 120.0
+    route_interval_s: float = 300.0
+    neighbor_timeout_s: float = 420.0
+    route_timeout_s: float = 900.0
+    ack_timeout_s: float = 2.5
+    max_retries: int = 5
+    csma_initial_backoff_s: float = 0.1
+    csma_max_backoff_s: float = 3.0
+    csma_max_attempts: int = 8
+    hop_limit: int = 10
+    infinity_metric: int = 16
+    jitter_s: float = 5.0
+    queue_limit: int = 32
+    duty_cycle_enforce: bool = True
+    #: Minimum spacing between triggered (change-driven) route broadcasts;
+    #: the periodic broadcast is unaffected.  Prevents update storms while
+    #: still propagating topology changes much faster than the periodic
+    #: interval alone.
+    triggered_update_min_gap_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        positives = (
+            ("hello_interval_s", self.hello_interval_s),
+            ("route_interval_s", self.route_interval_s),
+            ("neighbor_timeout_s", self.neighbor_timeout_s),
+            ("route_timeout_s", self.route_timeout_s),
+            ("ack_timeout_s", self.ack_timeout_s),
+            ("csma_initial_backoff_s", self.csma_initial_backoff_s),
+            ("csma_max_backoff_s", self.csma_max_backoff_s),
+        )
+        for name, value in positives:
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be > 0, got {value}")
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.csma_max_attempts < 1:
+            raise ConfigurationError(
+                f"csma_max_attempts must be >= 1, got {self.csma_max_attempts}"
+            )
+        if not (1 <= self.hop_limit <= 255):
+            raise ConfigurationError(f"hop_limit must be 1..255, got {self.hop_limit}")
+        if not (1 <= self.infinity_metric <= 255):
+            raise ConfigurationError(
+                f"infinity_metric must be 1..255, got {self.infinity_metric}"
+            )
+        if self.jitter_s < 0:
+            raise ConfigurationError(f"jitter_s must be >= 0, got {self.jitter_s}")
+        if self.queue_limit < 1:
+            raise ConfigurationError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.triggered_update_min_gap_s < 0:
+            raise ConfigurationError(
+                f"triggered_update_min_gap_s must be >= 0, got {self.triggered_update_min_gap_s}"
+            )
+        if self.neighbor_timeout_s <= self.hello_interval_s:
+            raise ConfigurationError(
+                "neighbor_timeout_s must exceed hello_interval_s or neighbors flap"
+            )

@@ -1,0 +1,191 @@
+"""End-to-end reliable messaging over the mesh.
+
+Per-hop ACKs (the MAC's job) recover individual frame losses, but a
+multi-fragment message still dies if any hop exhausts its retries.  The
+:class:`ReliableMessenger` adds the missing end-to-end loop:
+
+* the destination's messenger replies to configured message types with a
+  tiny APP_ACK message carrying the original message id;
+* the sender's messenger retries the whole message (fresh message id)
+  until an APP_ACK arrives or attempts run out.
+
+Semantics are **at-least-once**: a retry whose predecessor actually
+arrived delivers a duplicate to the application.  The monitoring pipeline
+is idempotent (the server deduplicates on record sequence numbers), which
+is exactly why its in-band reliable mode can use this messenger as-is;
+other applications must dedup on their own message content.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mesh.node import DeliveredMessage, MeshNode
+from repro.mesh.packet import PacketType
+from repro.sim.engine import Event, Simulator
+
+ResultCallback = Callable[[bool], None]
+
+_ACK_FORMAT = "!H"
+
+
+@dataclass
+class _PendingSend:
+    """State for one in-flight reliable message."""
+
+    dst: int
+    payload: bytes
+    ptype: PacketType
+    on_result: Optional[ResultCallback]
+    attempts_left: int
+    current_msg_id: Optional[int] = None
+    timeout_event: Optional[Event] = None
+    #: every msg_id used so far (late ACKs for earlier attempts count).
+    msg_ids: List[int] = field(default_factory=list)
+
+
+@dataclass
+class MessengerStats:
+    """Counters for the reliable messenger."""
+
+    sent: int = 0
+    delivered: int = 0
+    gave_up: int = 0
+    retries: int = 0
+    acks_sent: int = 0
+    duplicate_acks: int = 0
+
+
+class ReliableMessenger:
+    """End-to-end at-least-once delivery on top of one mesh node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MeshNode,
+        ack_types: Tuple[PacketType, ...] = (PacketType.TELEMETRY,),
+        timeout_s: float = 60.0,
+        max_attempts: int = 3,
+    ) -> None:
+        """Create a messenger bound to ``node``.
+
+        Args:
+            sim: the simulator.
+            node: the mesh node this messenger sends/receives through.
+            ack_types: incoming message types this node acknowledges.
+                Both endpoints of a reliable exchange need a messenger
+                (the receiver's generates the APP_ACKs).
+            timeout_s: end-to-end ACK wait before retrying; must cover the
+                worst multi-hop round trip including MAC retries.
+            max_attempts: total tries per message.
+        """
+        if timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+        if max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {max_attempts}")
+        self._sim = sim
+        self.node = node
+        self._ack_types = tuple(ack_types)
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.stats = MessengerStats()
+        #: pending sends indexed by every msg_id they have used.
+        self._pending_by_msg: Dict[int, _PendingSend] = {}
+        node.on_deliver.append(self._delivered)
+
+    def send(
+        self,
+        dst: int,
+        payload: bytes,
+        ptype: PacketType = PacketType.TELEMETRY,
+        on_result: Optional[ResultCallback] = None,
+    ) -> bool:
+        """Send ``payload`` reliably; ``on_result(ok)`` fires on ACK or
+        after the final attempt times out.
+
+        Returns:
+            False when even the first attempt could not be queued (no
+            route): the callback still fires with False.
+        """
+        pending = _PendingSend(
+            dst=dst,
+            payload=payload,
+            ptype=ptype,
+            on_result=on_result,
+            attempts_left=self.max_attempts,
+        )
+        self.stats.sent += 1
+        return self._attempt(pending, first=True)
+
+    def _attempt(self, pending: _PendingSend, first: bool = False) -> bool:
+        pending.attempts_left -= 1
+        if not first:
+            self.stats.retries += 1
+        msg_id = self.node.send_message(pending.dst, pending.payload, ptype=pending.ptype)
+        if msg_id is None:
+            # No route right now; retry later unless exhausted.
+            if pending.attempts_left > 0:
+                pending.timeout_event = self._sim.call_in(
+                    self.timeout_s, lambda: self._attempt(pending)
+                )
+                return False
+            self._finish(pending, ok=False)
+            return False
+        pending.current_msg_id = msg_id
+        pending.msg_ids.append(msg_id)
+        self._pending_by_msg[msg_id] = pending
+        pending.timeout_event = self._sim.call_in(
+            self.timeout_s, lambda: self._timeout(pending)
+        )
+        return True
+
+    def _timeout(self, pending: _PendingSend) -> None:
+        if pending.attempts_left > 0:
+            self._attempt(pending)
+            return
+        self._finish(pending, ok=False)
+
+    def _finish(self, pending: _PendingSend, ok: bool) -> None:
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+            pending.timeout_event = None
+        for msg_id in pending.msg_ids:
+            self._pending_by_msg.pop(msg_id, None)
+        if ok:
+            self.stats.delivered += 1
+        else:
+            self.stats.gave_up += 1
+        if pending.on_result is not None:
+            pending.on_result(ok)
+
+    # -- receive side -----------------------------------------------------------
+
+    def _delivered(self, message: DeliveredMessage) -> None:
+        if message.ptype == PacketType.APP_ACK:
+            self._handle_app_ack(message)
+            return
+        if message.ptype in self._ack_types:
+            self._send_app_ack(message)
+
+    def _send_app_ack(self, message: DeliveredMessage) -> None:
+        ack_payload = struct.pack(_ACK_FORMAT, message.msg_id & 0xFFFF)
+        self.stats.acks_sent += 1
+        self.node.send_message(message.src, ack_payload, ptype=PacketType.APP_ACK)
+
+    def _handle_app_ack(self, message: DeliveredMessage) -> None:
+        if len(message.payload) != struct.calcsize(_ACK_FORMAT):
+            return
+        (acked_msg_id,) = struct.unpack(_ACK_FORMAT, message.payload)
+        pending = self._pending_by_msg.get(acked_msg_id)
+        if pending is None:
+            self.stats.duplicate_acks += 1
+            return
+        self._finish(pending, ok=True)
+
+    @property
+    def in_flight(self) -> int:
+        """Messages awaiting an APP_ACK (or retry)."""
+        return len({id(p) for p in self._pending_by_msg.values()})

@@ -1,0 +1,104 @@
+"""Managed flooding (Meshtastic-style) — the baseline mesh protocol.
+
+Every data packet is broadcast; each node rebroadcasts a packet it has not
+seen before, after a delay inversely related to how *weakly* it heard the
+packet.  Nodes far from the sender (low SNR) rebroadcast first, which biases
+coverage outward; nodes that overhear another copy while waiting suppress
+their own rebroadcast.  A bounded dedup cache and the TTL stop the flood.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+class DedupCache:
+    """Bounded LRU set of packet keys already seen."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._seen: "OrderedDict[Tuple[int, int], float]" = OrderedDict()
+
+    def seen_before(self, key: Tuple[int, int], now: float) -> bool:
+        """Record ``key``; return True when it was already present."""
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            return True
+        self._seen[key] = now
+        if len(self._seen) > self._capacity:
+            self._seen.popitem(last=False)
+        return False
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+class FloodingPolicy:
+    """Rebroadcast decisions for managed flooding."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        base_delay_s: float = 0.16,
+        snr_delay_slope_s_per_db: float = 0.04,
+        max_extra_delay_s: float = 1.0,
+        snr_reference_db: float = 10.0,
+        cache_capacity: int = 256,
+    ) -> None:
+        """Create a flooding policy.
+
+        Args:
+            rng: stream for the random jitter component.
+            base_delay_s: minimum contention-window delay.
+            snr_delay_slope_s_per_db: additional delay per dB of SNR above
+                the weakest expected reception; strong (=near) receivers
+                wait longer, matching Meshtastic's SNR-based contention.
+            max_extra_delay_s: cap on the SNR-derived component.
+            snr_reference_db: SNR treated as "very close" (maximum delay).
+            cache_capacity: dedup cache size.
+        """
+        if base_delay_s < 0 or snr_delay_slope_s_per_db < 0 or max_extra_delay_s < 0:
+            raise ConfigurationError("flooding delays must be >= 0")
+        self._rng = rng
+        self._base_delay_s = base_delay_s
+        self._slope = snr_delay_slope_s_per_db
+        self._max_extra_s = max_extra_delay_s
+        self._snr_reference_db = snr_reference_db
+        self.cache = DedupCache(cache_capacity)
+        #: Keys whose pending rebroadcast was suppressed by an overheard copy.
+        self._suppressed: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
+
+    def rebroadcast_delay(self, snr_db: float) -> float:
+        """Contention delay before this node relays a packet heard at
+        ``snr_db``.  Weak receptions (edge of coverage) go first."""
+        # Normalise: snr at/above the reference -> full delay; 20 dB below -> none.
+        span = 20.0
+        fraction = (snr_db - (self._snr_reference_db - span)) / span
+        fraction = min(max(fraction, 0.0), 1.0)
+        extra = min(fraction * self._slope * span, self._max_extra_s)
+        jitter = self._rng.uniform(0.0, self._base_delay_s)
+        return self._base_delay_s + extra + jitter
+
+    def should_relay(self, key: Tuple[int, int], ttl: int, now: float) -> bool:
+        """First-copy test: relay only new packets with TTL remaining."""
+        if ttl <= 0:
+            return False
+        return not self.cache.seen_before(key, now)
+
+    def suppress(self, key: Tuple[int, int]) -> None:
+        """Mark a pending rebroadcast as suppressed (duplicate overheard)."""
+        self._suppressed[key] = True
+        while len(self._suppressed) > 512:
+            self._suppressed.popitem(last=False)
+
+    def is_suppressed(self, key: Tuple[int, int]) -> bool:
+        return key in self._suppressed

@@ -1,0 +1,87 @@
+"""Neighbor table.
+
+Tracks every node heard directly, with exponentially weighted moving
+averages of RSSI and SNR — the same per-link quality statistics the
+monitoring client ships to the server, so the dashboard's link view can be
+validated against this table in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Neighbor:
+    """State kept per directly heard node."""
+
+    address: int
+    first_seen: float
+    last_seen: float
+    rssi_ewma_dbm: float
+    snr_ewma_db: float
+    frames_heard: int = 1
+
+
+class NeighborTable:
+    """Direct-neighbor tracking with staleness expiry."""
+
+    def __init__(self, timeout_s: float, ewma_alpha: float = 0.25) -> None:
+        """Create a table.
+
+        Args:
+            timeout_s: silence after which a neighbor is considered gone.
+            ewma_alpha: weight of the newest sample in the RSSI/SNR EWMAs.
+        """
+        self._timeout_s = timeout_s
+        self._alpha = ewma_alpha
+        self._neighbors: Dict[int, Neighbor] = {}
+
+    def observe(self, address: int, rssi_dbm: float, snr_db: float, now: float) -> Neighbor:
+        """Record a frame heard directly from ``address``."""
+        neighbor = self._neighbors.get(address)
+        if neighbor is None:
+            neighbor = Neighbor(
+                address=address,
+                first_seen=now,
+                last_seen=now,
+                rssi_ewma_dbm=rssi_dbm,
+                snr_ewma_db=snr_db,
+            )
+            self._neighbors[address] = neighbor
+            return neighbor
+        neighbor.last_seen = now
+        neighbor.frames_heard += 1
+        neighbor.rssi_ewma_dbm += self._alpha * (rssi_dbm - neighbor.rssi_ewma_dbm)
+        neighbor.snr_ewma_db += self._alpha * (snr_db - neighbor.snr_ewma_db)
+        return neighbor
+
+    def expire(self, now: float) -> List[int]:
+        """Drop neighbors silent for longer than the timeout.
+
+        Returns:
+            Addresses that were removed (the routing layer poisons routes
+            through them).
+        """
+        stale = [
+            address
+            for address, neighbor in self._neighbors.items()
+            if now - neighbor.last_seen > self._timeout_s
+        ]
+        for address in stale:
+            del self._neighbors[address]
+        return stale
+
+    def get(self, address: int) -> Optional[Neighbor]:
+        return self._neighbors.get(address)
+
+    def addresses(self) -> List[int]:
+        """Currently known neighbor addresses, sorted."""
+        return sorted(self._neighbors)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._neighbors
+
+    def __len__(self) -> int:
+        return len(self._neighbors)

@@ -1,0 +1,147 @@
+"""Message transport: segmentation and reassembly.
+
+LoRa frames carry at most ~230 payload bytes; application messages (and
+in-band telemetry batches in particular) are often larger.  The transport
+splits a message into fragments, each prefixed with a 4-byte fragment
+header::
+
+    offset  size  field
+    0       2     msg_id     per-origin message sequence number
+    2       1     seg_index  0-based fragment index
+    3       1     seg_total  total fragments in the message
+
+and reassembles them at the destination.  Reliability is delegated to the
+per-hop ACKs of the MAC; the reassembler additionally times out partial
+messages so a lost fragment cannot pin memory forever.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DecodeError, EncodeError
+
+FRAGMENT_HEADER_FORMAT = "!HBB"
+FRAGMENT_HEADER_SIZE = struct.calcsize(FRAGMENT_HEADER_FORMAT)
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One fragment of a segmented message."""
+
+    msg_id: int
+    seg_index: int
+    seg_total: int
+    data: bytes
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            FRAGMENT_HEADER_FORMAT, self.msg_id, self.seg_index, self.seg_total
+        ) + self.data
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "Fragment":
+        if len(raw) < FRAGMENT_HEADER_SIZE:
+            raise DecodeError(f"fragment of {len(raw)} bytes has no header")
+        msg_id, seg_index, seg_total = struct.unpack(
+            FRAGMENT_HEADER_FORMAT, raw[:FRAGMENT_HEADER_SIZE]
+        )
+        if seg_total == 0:
+            raise DecodeError("fragment with seg_total=0")
+        if seg_index >= seg_total:
+            raise DecodeError(f"fragment index {seg_index} >= total {seg_total}")
+        return cls(msg_id=msg_id, seg_index=seg_index, seg_total=seg_total, data=raw[FRAGMENT_HEADER_SIZE:])
+
+
+def segment_message(msg_id: int, payload: bytes, mtu: int) -> List[Fragment]:
+    """Split ``payload`` into fragments whose encoded size fits ``mtu``.
+
+    Args:
+        msg_id: per-origin message id (16 bit, wraps at the caller).
+        payload: full message bytes; may be empty (single empty fragment).
+        mtu: maximum *frame payload* available to each fragment, including
+            the fragment header.
+
+    Raises:
+        EncodeError: when the message needs more than 255 fragments or the
+            MTU cannot fit the header plus at least one byte.
+    """
+    chunk = mtu - FRAGMENT_HEADER_SIZE
+    if chunk < 1:
+        raise EncodeError(f"mtu {mtu} leaves no room for fragment data")
+    total = max(1, -(-len(payload) // chunk))
+    if total > 0xFF:
+        raise EncodeError(
+            f"message of {len(payload)} bytes needs {total} fragments (max 255)"
+        )
+    fragments = []
+    for index in range(total):
+        data = payload[index * chunk:(index + 1) * chunk]
+        fragments.append(Fragment(msg_id=msg_id & 0xFFFF, seg_index=index, seg_total=total, data=data))
+    return fragments
+
+
+@dataclass
+class _Partial:
+    """Reassembly state for one in-progress message."""
+
+    seg_total: int
+    parts: Dict[int, bytes]
+    started_at: float
+    last_update: float
+
+
+class Reassembler:
+    """Per-destination reassembly of fragmented messages."""
+
+    def __init__(self, timeout_s: float = 300.0, max_partial: int = 64) -> None:
+        self._timeout_s = timeout_s
+        self._max_partial = max_partial
+        self._partial: Dict[Tuple[int, int], _Partial] = {}
+        self.completed = 0
+        self.expired = 0
+
+    def push(self, src: int, fragment: Fragment, now: float) -> Optional[bytes]:
+        """Add a fragment; return the full message once complete.
+
+        Duplicate fragments are ignored.  A fragment whose ``seg_total``
+        disagrees with earlier fragments of the same message resets that
+        message (the origin restarted).
+        """
+        self._expire(now)
+        key = (src, fragment.msg_id)
+        partial = self._partial.get(key)
+        if partial is None or partial.seg_total != fragment.seg_total:
+            if len(self._partial) >= self._max_partial and key not in self._partial:
+                # Evict the stalest partial to bound memory.
+                oldest = min(self._partial, key=lambda k: self._partial[k].last_update)
+                del self._partial[oldest]
+                self.expired += 1
+            partial = _Partial(
+                seg_total=fragment.seg_total, parts={}, started_at=now, last_update=now
+            )
+            self._partial[key] = partial
+        partial.parts.setdefault(fragment.seg_index, fragment.data)
+        partial.last_update = now
+        if len(partial.parts) < partial.seg_total:
+            return None
+        del self._partial[key]
+        self.completed += 1
+        return b"".join(partial.parts[index] for index in range(partial.seg_total))
+
+    def _expire(self, now: float) -> None:
+        stale = [
+            key
+            for key, partial in self._partial.items()
+            if now - partial.last_update > self._timeout_s
+        ]
+        for key in stale:
+            del self._partial[key]
+            self.expired += 1
+
+    @property
+    def pending(self) -> int:
+        """Messages currently awaiting fragments."""
+        return len(self._partial)

@@ -1,0 +1,57 @@
+"""The monitoring system — the paper's contribution.
+
+Client side (runs on every LoRa node):
+
+* :class:`~repro.monitor.client.MonitorClient` hooks the node's packet
+  in/out observation points, buffers :class:`~repro.monitor.records.PacketRecord`
+  and periodic :class:`~repro.monitor.records.StatusRecord` snapshots, and
+  ships them to the server in batches over an uplink,
+* uplinks: :class:`~repro.monitor.uplink.OutOfBandUplink` (the paper's
+  WiFi/HTTP path) and :class:`~repro.monitor.uplink.InBandUplink`
+  (telemetry rides the mesh to a gateway node).
+
+Server side:
+
+* :class:`~repro.monitor.server.MonitorServer` validates, deduplicates and
+  stores batches in a :class:`~repro.monitor.storage.MetricsStore`,
+* :mod:`~repro.monitor.metrics` computes the aggregations the dashboard
+  shows (PDR, link quality, traffic matrix, airtime, latency),
+* :class:`~repro.monitor.dashboard.Dashboard` renders text/DOT/JSON views,
+* :mod:`~repro.monitor.httpapi` serves the JSON API over real HTTP,
+* :class:`~repro.monitor.alerts.AlertEngine` raises operational alerts,
+* :mod:`~repro.monitor.health` scores per-node and network health.
+"""
+
+from repro.monitor.alerts import Alert, AlertEngine
+from repro.monitor.client import MonitorClient, MonitorClientConfig
+from repro.monitor.dashboard import Dashboard
+from repro.monitor.records import Direction, PacketRecord, RecordBatch, StatusRecord
+from repro.monitor.server import IngestResult, MonitorServer
+from repro.monitor.sqlitestore import SqliteMetricsStore
+from repro.monitor.storage import MetricsStore
+from repro.monitor.uplink import (
+    GatewayBridge,
+    InBandUplink,
+    OutOfBandUplink,
+    ReliableInBandUplink,
+)
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "MonitorClient",
+    "MonitorClientConfig",
+    "Dashboard",
+    "Direction",
+    "PacketRecord",
+    "RecordBatch",
+    "StatusRecord",
+    "IngestResult",
+    "MonitorServer",
+    "MetricsStore",
+    "SqliteMetricsStore",
+    "GatewayBridge",
+    "InBandUplink",
+    "OutOfBandUplink",
+    "ReliableInBandUplink",
+]

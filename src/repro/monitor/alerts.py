@@ -1,0 +1,206 @@
+"""Alerting over the metrics store.
+
+Rules inspect the store and report *conditions*; the engine turns
+conditions into stateful alerts (raised once, cleared when the condition
+disappears, kept in history) — what a network administrator watching the
+paper's dashboard would act on.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.monitor import metrics
+from repro.monitor.storage import MetricsStore
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One active or historical alert."""
+
+    rule: str
+    node: Optional[int]
+    severity: str
+    message: str
+    raised_at: float
+
+
+class AlertRule(ABC):
+    """A condition evaluated against the store."""
+
+    #: Stable rule identifier used for alert state keys.
+    name: str = "rule"
+    severity: str = "warning"
+
+    @abstractmethod
+    def conditions(self, store: MetricsStore, now: float) -> List[Tuple[Optional[int], str]]:
+        """Return (node, message) for every currently firing condition."""
+
+
+class SilentNodeRule(AlertRule):
+    """A node known to the server stopped sending batches."""
+
+    name = "silent_node"
+    severity = "critical"
+
+    def __init__(self, max_silence_s: float) -> None:
+        self.max_silence_s = max_silence_s
+
+    def conditions(self, store: MetricsStore, now: float) -> List[Tuple[Optional[int], str]]:
+        firing = []
+        for node in store.nodes():
+            last = store.last_seen(node)
+            if last is None:
+                continue
+            silence = now - last
+            if silence > self.max_silence_s:
+                firing.append((node, f"no telemetry for {silence:.0f}s"))
+        return firing
+
+
+class LowPdrRule(AlertRule):
+    """Delivery from some source fell below a threshold."""
+
+    name = "low_pdr"
+    severity = "warning"
+
+    def __init__(self, threshold: float = 0.8, window_s: float = 1800.0, min_sent: int = 5) -> None:
+        self.threshold = threshold
+        self.window_s = window_s
+        self.min_sent = min_sent
+
+    def conditions(self, store: MetricsStore, now: float) -> List[Tuple[Optional[int], str]]:
+        firing = []
+        pairs = metrics.pdr_matrix(store, since=now - self.window_s, until=now)
+        for (src, dst), pair in sorted(pairs.items()):
+            if pair.sent < self.min_sent:
+                continue
+            if not math.isnan(pair.pdr) and pair.pdr < self.threshold:
+                firing.append(
+                    (src, f"PDR {pair.pdr:.0%} to node {dst} ({pair.delivered}/{pair.sent})")
+                )
+        return firing
+
+
+class DutyCycleRule(AlertRule):
+    """A node's reported duty-cycle utilisation is close to the cap."""
+
+    name = "duty_cycle"
+    severity = "warning"
+
+    def __init__(self, threshold: float = 0.8) -> None:
+        self.threshold = threshold
+
+    def conditions(self, store: MetricsStore, now: float) -> List[Tuple[Optional[int], str]]:
+        firing = []
+        for node in store.nodes():
+            status = store.latest_status(node)
+            if status is not None and status.duty_utilisation >= self.threshold:
+                firing.append(
+                    (node, f"duty-cycle utilisation {status.duty_utilisation:.0%} of budget")
+                )
+        return firing
+
+
+class BatteryLowRule(AlertRule):
+    """A node's battery voltage dropped below the threshold."""
+
+    name = "battery_low"
+    severity = "warning"
+
+    def __init__(self, threshold_v: float = 3.4) -> None:
+        self.threshold_v = threshold_v
+
+    def conditions(self, store: MetricsStore, now: float) -> List[Tuple[Optional[int], str]]:
+        firing = []
+        for node in store.nodes():
+            status = store.latest_status(node)
+            if status is not None and status.battery_v < self.threshold_v:
+                firing.append((node, f"battery at {status.battery_v:.2f} V"))
+        return firing
+
+
+class QueueBacklogRule(AlertRule):
+    """A node's MAC queue keeps growing (congestion)."""
+
+    name = "queue_backlog"
+    severity = "warning"
+
+    def __init__(self, threshold: int = 10) -> None:
+        self.threshold = threshold
+
+    def conditions(self, store: MetricsStore, now: float) -> List[Tuple[Optional[int], str]]:
+        firing = []
+        for node in store.nodes():
+            status = store.latest_status(node)
+            if status is not None and status.queue_depth >= self.threshold:
+                firing.append((node, f"MAC queue depth {status.queue_depth}"))
+        return firing
+
+
+def default_rules(report_interval_s: float = 60.0) -> List[AlertRule]:
+    """The rule set the examples and experiments use.
+
+    Silence threshold is 3 missed report intervals plus slack.
+    """
+    return [
+        SilentNodeRule(max_silence_s=report_interval_s * 3 + 10.0),
+        LowPdrRule(),
+        DutyCycleRule(),
+        BatteryLowRule(),
+        QueueBacklogRule(),
+    ]
+
+
+class AlertEngine:
+    """Stateful alert evaluation."""
+
+    def __init__(self, store: MetricsStore, rules: Optional[List[AlertRule]] = None) -> None:
+        self.store = store
+        self.rules = rules if rules is not None else default_rules()
+        self._active: Dict[Tuple[str, Optional[int]], Alert] = {}
+        self.history: List[Alert] = []
+        #: Notification sinks: called with each newly raised alert.
+        self.on_raise: List = []
+        #: Notification sinks: called with each alert that just cleared.
+        self.on_clear: List = []
+
+    def evaluate(self, now: float) -> List[Alert]:
+        """Re-evaluate all rules; returns newly *raised* alerts.
+
+        Conditions that persist stay active without re-raising; conditions
+        that disappeared are cleared.
+        """
+        raised: List[Alert] = []
+        firing_keys = set()
+        for rule in self.rules:
+            for node, message in rule.conditions(self.store, now):
+                key = (rule.name, node)
+                firing_keys.add(key)
+                if key in self._active:
+                    continue
+                alert = Alert(
+                    rule=rule.name,
+                    node=node,
+                    severity=rule.severity,
+                    message=message,
+                    raised_at=now,
+                )
+                self._active[key] = alert
+                self.history.append(alert)
+                raised.append(alert)
+                for sink in self.on_raise:
+                    sink(alert)
+        for key in list(self._active):
+            if key not in firing_keys:
+                cleared = self._active.pop(key)
+                for sink in self.on_clear:
+                    sink(cleared)
+        return raised
+
+    def active(self) -> List[Alert]:
+        """Currently firing alerts, oldest first."""
+        return sorted(self._active.values(), key=lambda alert: alert.raised_at)

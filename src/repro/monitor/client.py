@@ -1,0 +1,322 @@
+"""The monitoring client that runs on every LoRa node.
+
+Hooks the node's two observation points (every demodulated frame, every
+physical transmission), turns them into :class:`PacketRecord` objects,
+buffers them, and flushes a :class:`RecordBatch` to the server every
+``report_interval_s`` — exactly the client the paper describes.
+
+Reliability model:
+
+* the buffer is bounded; overflow drops the **oldest** records and counts
+  them, and the count ships with the next batch so the server can
+  quantify observation loss;
+* a batch that fails (uplink loss, no ack before the next interval) keeps
+  its records, which are merged into the next batch under a fresh
+  ``batch_seq`` but with their original record ``seq`` values — the server
+  deduplicates on (node, seq), giving at-least-once delivery over the
+  out-of-band uplink.
+"""
+
+from __future__ import annotations
+
+import itertools
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import ConfigurationError
+from repro.mesh.node import MeshNode
+from repro.mesh.packet import Packet, PacketType, crc16_ccitt
+from repro.monitor.records import (
+    Direction,
+    NeighborObservation,
+    PacketRecord,
+    RecordBatch,
+    StatusRecord,
+)
+from repro.monitor.uplink import Uplink
+from repro.phy.channel import Reception
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class MonitorClientConfig:
+    """Client tunables.
+
+    Attributes:
+        report_interval_s: how often a batch is flushed to the server.
+        max_buffer_records: packet-record buffer bound; overflow drops the
+            oldest records (counted and reported).
+        max_records_per_batch: cap per shipment; a backlog drains over
+            several intervals rather than producing one giant batch.
+        include_status: attach a node-status snapshot to every batch.
+        capture_telemetry_frames: also record TELEMETRY frames themselves.
+            Off by default so the in-band uplink does not observe its own
+            shipments into the next batch (meta-traffic).
+        capture_in: record incoming frames.
+        capture_out: record outgoing frames.
+        packet_sample_rate: fraction of packets captured (1.0 =
+            everything).  Constrained uplinks — the in-band mode in
+            particular, where every telemetry byte costs LoRa airtime
+            inside a 1 % duty-cycle budget — sample instead of reporting
+            the full packet stream.  Sampling is **hash-consistent on the
+            packet identity (src, packet_id)**: every node samples the
+            same subset of packets, so correlation metrics (PDR, latency,
+            route reconstruction) stay unbiased.  Independent per-observer
+            sampling would bias observed PDR down by the sampling factor,
+            because delivery needs the origin's OUT record *and* the
+            destination's IN record of the same packet to survive.
+            Status records are never sampled.
+        start_jitter_s: spread the first flush of different nodes in time.
+    """
+
+    report_interval_s: float = 60.0
+    max_buffer_records: int = 2000
+    max_records_per_batch: int = 400
+    include_status: bool = True
+    #: Attach a status snapshot to every Nth flush (1 = every flush).
+    status_every_n_flushes: int = 1
+    capture_telemetry_frames: bool = False
+    capture_in: bool = True
+    capture_out: bool = True
+    packet_sample_rate: float = 1.0
+    start_jitter_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.report_interval_s <= 0:
+            raise ConfigurationError(
+                f"report_interval_s must be > 0, got {self.report_interval_s}"
+            )
+        if self.max_buffer_records < 1 or self.max_records_per_batch < 1:
+            raise ConfigurationError("buffer and batch sizes must be >= 1")
+        if not (0.0 <= self.packet_sample_rate <= 1.0):
+            raise ConfigurationError(
+                f"packet_sample_rate must be 0..1, got {self.packet_sample_rate}"
+            )
+        if self.status_every_n_flushes < 1:
+            raise ConfigurationError(
+                f"status_every_n_flushes must be >= 1, got {self.status_every_n_flushes}"
+            )
+        if self.start_jitter_s < 0:
+            raise ConfigurationError(f"start_jitter_s must be >= 0, got {self.start_jitter_s}")
+
+
+@dataclass
+class ClientStats:
+    """Client-side counters, read by the overhead experiments."""
+
+    records_captured: int = 0
+    records_dropped: int = 0
+    status_snapshots: int = 0
+    batches_sent: int = 0
+    batches_acked: int = 0
+    batches_failed: int = 0
+    records_shipped: int = 0
+    uplink_bytes: int = 0
+
+
+class MonitorClient:
+    """Per-node monitoring agent."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MeshNode,
+        uplink: Uplink,
+        config: Optional[MonitorClientConfig] = None,
+    ) -> None:
+        self._sim = sim
+        self.node = node
+        self.uplink = uplink
+        self.config = config or MonitorClientConfig()
+        self.stats = ClientStats()
+        self._buffer: Deque[PacketRecord] = deque()
+        self._pending_status: Deque[StatusRecord] = deque()
+        self._packet_seq = itertools.count(0)
+        self._status_seq = itertools.count(0)
+        self._batch_seq = itertools.count(0)
+        self._dropped_since_last_batch = 0
+        self._awaiting_result = False
+        self._flush_count = 0
+        self._stopped = False
+        node.on_packet_in.append(self._packet_in)
+        node.on_packet_out.append(self._packet_out)
+        jitter = node._rng.uniform(0.0, self.config.start_jitter_s)
+        self._timer = sim.call_every(
+            self.config.report_interval_s,
+            self.flush,
+            start=sim.now + self.config.report_interval_s + jitter,
+        )
+
+    def stop(self) -> None:
+        """Halt the client (node failure or shutdown)."""
+        self._stopped = True
+        self._timer.cancel()
+
+    # -- capture -----------------------------------------------------------------
+
+    def _wants(self, packet: Packet) -> bool:
+        if self._stopped or self.node.failed:
+            return False
+        if not self.config.capture_telemetry_frames and packet.ptype in (
+            PacketType.TELEMETRY, PacketType.APP_ACK,
+        ):
+            # Monitoring meta-traffic: recording our own shipments (and
+            # their end-to-end acks) into the next batch feeds back.
+            return False
+        if self.config.packet_sample_rate < 1.0:
+            if not self._sampled(packet):
+                return False
+        return True
+
+    def _sampled(self, packet: Packet) -> bool:
+        """Hash-consistent sampling decision for one packet identity."""
+        key = struct.pack("!HH", packet.src, packet.packet_id)
+        bucket = crc16_ccitt(key) / 65535.0
+        return bucket < self.config.packet_sample_rate
+
+    def _packet_in(self, now: float, packet: Packet, reception: Reception) -> None:
+        if not self.config.capture_in or not self._wants(packet):
+            return
+        self._append(
+            PacketRecord(
+                node=self.node.address,
+                seq=next(self._packet_seq),
+                timestamp=now,
+                direction=Direction.IN,
+                src=packet.src,
+                dst=packet.dst,
+                next_hop=packet.next_hop,
+                prev_hop=packet.prev_hop,
+                ptype=int(packet.ptype),
+                packet_id=packet.packet_id,
+                size_bytes=packet.wire_size,
+                rssi_dbm=reception.rssi_dbm,
+                snr_db=reception.snr_db,
+            )
+        )
+
+    def _packet_out(self, now: float, packet: Packet, airtime: float, attempt: int) -> None:
+        if not self.config.capture_out or not self._wants(packet):
+            return
+        self._append(
+            PacketRecord(
+                node=self.node.address,
+                seq=next(self._packet_seq),
+                timestamp=now,
+                direction=Direction.OUT,
+                src=packet.src,
+                dst=packet.dst,
+                next_hop=packet.next_hop,
+                prev_hop=packet.prev_hop,
+                ptype=int(packet.ptype),
+                packet_id=packet.packet_id,
+                size_bytes=packet.wire_size,
+                airtime_s=airtime,
+                attempt=attempt,
+            )
+        )
+
+    def _append(self, record: PacketRecord) -> None:
+        self.stats.records_captured += 1
+        self._buffer.append(record)
+        while len(self._buffer) > self.config.max_buffer_records:
+            self._buffer.popleft()
+            self.stats.records_dropped += 1
+            self._dropped_since_last_batch += 1
+
+    def _snapshot_status(self) -> StatusRecord:
+        status = self.node.status()
+        neighbors = tuple(
+            NeighborObservation(
+                address=neighbor.address,
+                rssi_dbm=neighbor.rssi_ewma_dbm,
+                snr_db=neighbor.snr_ewma_db,
+                frames_heard=neighbor.frames_heard,
+            )
+            for neighbor in (
+                self.node.neighbors.get(addr) for addr in self.node.neighbors.addresses()
+            )
+            if neighbor is not None
+        )
+        self.stats.status_snapshots += 1
+        return StatusRecord(
+            node=self.node.address,
+            seq=next(self._status_seq),
+            timestamp=self._sim.now,
+            uptime_s=status["uptime_s"],
+            queue_depth=int(status["queue_depth"]),
+            route_count=int(status["route_count"]),
+            neighbor_count=int(status["neighbor_count"]),
+            battery_v=status["battery_v"],
+            tx_frames=int(status["tx_frames"]),
+            tx_airtime_s=status["tx_airtime_s"],
+            retransmissions=int(status["retransmissions"]),
+            drops=int(status["drops"]),
+            duty_utilisation=status["duty_utilisation"],
+            originated=int(status["originated"]),
+            delivered=int(status["delivered"]),
+            forwarded=int(status["forwarded"]),
+            neighbors=neighbors,
+        )
+
+    # -- shipping -----------------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Records buffered and waiting for a successful flush."""
+        return len(self._buffer)
+
+    def flush(self) -> None:
+        """Build and ship one batch now (normally timer-driven)."""
+        if self._stopped or self.node.failed:
+            return
+        if self._awaiting_result:
+            # Previous shipment still in flight; let its result (or the next
+            # interval after it resolves) drive the retry.
+            return
+        self._flush_count += 1
+        if self.config.include_status and (
+            (self._flush_count - 1) % self.config.status_every_n_flushes == 0
+        ):
+            self._pending_status.append(self._snapshot_status())
+        if not self._buffer and not self._pending_status:
+            return
+        take = min(len(self._buffer), self.config.max_records_per_batch)
+        packet_records = tuple(self._buffer[index] for index in range(take))
+        status_records = tuple(self._pending_status)
+        batch = RecordBatch(
+            node=self.node.address,
+            batch_seq=next(self._batch_seq),
+            sent_at=self._sim.now,
+            packet_records=packet_records,
+            status_records=status_records,
+            dropped_records=self._dropped_since_last_batch,
+        )
+        self._awaiting_result = True
+        self.stats.batches_sent += 1
+
+        def on_result(ok: bool) -> None:
+            self._awaiting_result = False
+            if ok:
+                self.stats.batches_acked += 1
+                self.stats.records_shipped += batch.record_count
+                self._dropped_since_last_batch = 0
+                # Remove by seq, not by count: buffer overflow during the
+                # flight may already have evicted some of the shipped records.
+                if packet_records:
+                    last_seq = packet_records[-1].seq
+                    while self._buffer and self._buffer[0].seq <= last_seq:
+                        self._buffer.popleft()
+                if status_records:
+                    last_status_seq = status_records[-1].seq
+                    while self._pending_status and self._pending_status[0].seq <= last_status_seq:
+                        self._pending_status.popleft()
+            else:
+                self.stats.batches_failed += 1
+                # Records stay buffered; the next interval retries them
+                # under a new batch_seq with the same record seqs.
+
+        self.stats.uplink_bytes += self.uplink.wire_size(batch)
+        self.uplink.send(batch, on_result)

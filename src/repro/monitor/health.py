@@ -1,0 +1,124 @@
+"""Per-node and network health scoring.
+
+A single 0..100 score per node summarises four weighted components:
+
+* **liveness** (40 %): how recently the node's last batch arrived,
+  relative to the expected report interval;
+* **delivery** (30 %): the node's PDR as a traffic source;
+* **spectrum headroom** (15 %): distance from the duty-cycle cap;
+* **battery** (15 %): voltage between the cutoff (3.0 V) and full (4.2 V).
+
+Components without data score neutral (their weight redistributes), so a
+node that never sent traffic is not punished for unknown PDR.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.monitor import metrics
+from repro.monitor.storage import MetricsStore
+
+BATTERY_EMPTY_V = 3.0
+BATTERY_FULL_V = 4.2
+
+
+@dataclass(frozen=True)
+class HealthScore:
+    """One node's health decomposition."""
+
+    node: int
+    score: float
+    liveness: Optional[float]
+    delivery: Optional[float]
+    spectrum: Optional[float]
+    battery: Optional[float]
+
+
+def _clamp01(value: float) -> float:
+    return max(0.0, min(1.0, value))
+
+
+def node_health(
+    store: MetricsStore,
+    node: int,
+    now: float,
+    report_interval_s: float = 60.0,
+    pdr_window_s: float = 1800.0,
+) -> HealthScore:
+    """Compute the health score for one node."""
+    components: List[Tuple[float, Optional[float]]] = []
+
+    last = store.last_seen(node)
+    liveness: Optional[float] = None
+    if last is not None:
+        # 1.0 up to one interval of silence, linearly to 0.0 at five.
+        silence = now - last
+        liveness = _clamp01(1.0 - (silence - report_interval_s) / (4.0 * report_interval_s))
+    components.append((0.40, liveness))
+
+    delivery: Optional[float] = None
+    pairs = metrics.pdr_matrix(store, since=now - pdr_window_s, until=now)
+    sent = delivered = 0
+    for (src, _dst), pair in pairs.items():
+        if src == node:
+            sent += pair.sent
+            delivered += pair.delivered
+    if sent > 0:
+        delivery = delivered / sent
+    components.append((0.30, delivery))
+
+    status = store.latest_status(node)
+    spectrum: Optional[float] = None
+    battery: Optional[float] = None
+    if status is not None:
+        spectrum = _clamp01(1.0 - status.duty_utilisation)
+        battery = _clamp01(
+            (status.battery_v - BATTERY_EMPTY_V) / (BATTERY_FULL_V - BATTERY_EMPTY_V)
+        )
+    components.append((0.15, spectrum))
+    components.append((0.15, battery))
+
+    total_weight = sum(weight for weight, value in components if value is not None)
+    if total_weight == 0:
+        score = math.nan
+    else:
+        score = 100.0 * sum(
+            weight * value for weight, value in components if value is not None
+        ) / total_weight
+    return HealthScore(
+        node=node,
+        score=score,
+        liveness=liveness,
+        delivery=delivery,
+        spectrum=spectrum,
+        battery=battery,
+    )
+
+
+def network_health(
+    store: MetricsStore,
+    now: float,
+    report_interval_s: float = 60.0,
+) -> Dict[int, HealthScore]:
+    """Health scores for every known node."""
+    return {
+        node: node_health(store, node, now, report_interval_s=report_interval_s)
+        for node in store.nodes()
+    }
+
+
+def network_health_score(
+    store: MetricsStore,
+    now: float,
+    report_interval_s: float = 60.0,
+) -> float:
+    """Single network-level score: the mean of defined node scores."""
+    scores = [
+        health.score
+        for health in network_health(store, now, report_interval_s).values()
+        if not math.isnan(health.score)
+    ]
+    return sum(scores) / len(scores) if scores else math.nan

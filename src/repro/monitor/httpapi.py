@@ -1,0 +1,256 @@
+"""HTTP JSON API over the dashboard — the real wire path of the paper.
+
+A stdlib ``ThreadingHTTPServer`` exposing:
+
+====================  =====================================================
+``GET  /``            Rich HTML dashboard (tiles, SVG topology, tables)
+``GET  /text``        Plain-text dashboard wrapped in ``<pre>``
+``GET  /api/summary`` Full dashboard document
+``GET  /api/nodes``   Node table
+``GET  /api/links``   Link-quality table
+``GET  /api/delivery`` PDR/latency per pair
+``GET  /api/alerts``  Active alerts
+``GET  /api/health``  Per-node health scores
+``GET  /api/history`` Rolled-up time series:
+                      ``?node=N&field=queue_depth&interval=300`` for a
+                      status field, ``?node=N&interval=300`` (no field)
+                      for the packet rate
+``POST /api/ingest``  Ingest one JSON record batch (what a real ESP32
+                      client would POST over WiFi)
+====================  =====================================================
+
+The server needs a *clock* callable so it works both against a live
+simulation (pass ``lambda: sim.now``) and in real time (default:
+``time.monotonic`` offset to start at 0).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional, Tuple
+
+from repro.monitor import health as health_mod
+from repro.monitor.dashboard import Dashboard
+from repro.monitor.server import MonitorServer
+
+_INDEX_HTML = """<!DOCTYPE html>
+<html><head><title>LoRa mesh monitor</title>
+<meta http-equiv="refresh" content="5">
+<style>body{font-family:monospace;background:#111;color:#ddd;padding:1em}</style>
+</head><body><pre>%s</pre></body></html>
+"""
+
+
+def _sanitize(value: Any) -> Any:
+    """Replace NaN/Inf with None so the output is strict JSON."""
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return None
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
+
+
+class MonitoringHttpServer:
+    """Serves the dashboard and the ingestion endpoint over HTTP."""
+
+    def __init__(
+        self,
+        monitor_server: MonitorServer,
+        dashboard: Dashboard,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Create (but do not start) the HTTP server.
+
+        Args:
+            monitor_server: ingestion backend for POST /api/ingest.
+            dashboard: view layer for the GET endpoints.
+            host/port: bind address; port 0 picks a free port.
+            clock: "now" provider for dashboard rendering.
+        """
+        self.monitor_server = monitor_server
+        self.dashboard = dashboard
+        if clock is None:
+            start = time.monotonic()
+            clock = lambda: time.monotonic() - start  # noqa: E731 - tiny closure
+        self._clock = clock
+        handler = self._make_handler()
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound."""
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Serve requests on a daemon thread until :meth:`stop`."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _make_handler(self) -> type:
+        api = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # Quiet: the simulation benches hammer this endpoint.
+            def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+                pass
+
+            def _send(self, code: int, body: bytes, content_type: str) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_json(self, document: Any, code: int = 200) -> None:
+                body = json.dumps(_sanitize(document), indent=1).encode("utf-8")
+                self._send(code, body, "application/json")
+
+            def _query_params(self) -> dict:
+                from urllib.parse import parse_qs, urlsplit
+                raw = urlsplit(self.path).query
+                return {key: values[0] for key, values in parse_qs(raw).items()}
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                now = api._clock()
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                if path == "/":
+                    from repro.monitor.webview import render_html
+                    page = render_html(api.dashboard, now)
+                    self._send(200, page.encode("utf-8"), "text/html")
+                elif path == "/text":
+                    text = api.dashboard.render_text(now)
+                    self._send(200, (_INDEX_HTML % text).encode("utf-8"), "text/html")
+                elif path == "/api/summary":
+                    self._send_json(api.dashboard.to_json_dict(now))
+                elif path == "/api/nodes":
+                    self._send_json(api.dashboard.node_rows(now))
+                elif path == "/api/links":
+                    self._send_json(api.dashboard.link_rows())
+                elif path == "/api/delivery":
+                    self._send_json(api.dashboard.pdr_rows())
+                elif path == "/api/alerts":
+                    api.dashboard.alerts.evaluate(now)
+                    self._send_json(
+                        [
+                            {
+                                "rule": alert.rule,
+                                "node": alert.node,
+                                "severity": alert.severity,
+                                "message": alert.message,
+                                "raised_at": alert.raised_at,
+                            }
+                            for alert in api.dashboard.alerts.active()
+                        ]
+                    )
+                elif path == "/api/health":
+                    scores = health_mod.network_health(api.dashboard.store, now)
+                    self._send_json(
+                        {
+                            str(node): {
+                                "score": score.score,
+                                "liveness": score.liveness,
+                                "delivery": score.delivery,
+                                "spectrum": score.spectrum,
+                                "battery": score.battery,
+                            }
+                            for node, score in scores.items()
+                        }
+                    )
+                elif path == "/api/history":
+                    self._history()
+                elif path == "/api/dot":
+                    self._send(200, api.dashboard.render_dot().encode("utf-8"), "text/plain")
+                else:
+                    self._send_json({"error": "not found"}, code=404)
+
+            def _history(self) -> None:
+                from repro.errors import StorageError
+                from repro.monitor.rollup import (
+                    rollup_packet_rate,
+                    rollup_status_field,
+                )
+
+                params = self._query_params()
+                try:
+                    node = int(params["node"])
+                    interval = float(params.get("interval", "300"))
+                except (KeyError, ValueError):
+                    self._send_json(
+                        {"error": "need ?node=<int>[&field=...][&interval=<s>]"},
+                        code=400,
+                    )
+                    return
+                field = params.get("field")
+                if field is not None:
+                    from repro.monitor.records import StatusRecord
+                    import dataclasses
+                    valid = {f.name for f in dataclasses.fields(StatusRecord)}
+                    if field not in valid:
+                        self._send_json({"error": f"unknown status field {field!r}"}, code=400)
+                        return
+                try:
+                    if field is None:
+                        series = rollup_packet_rate(
+                            api.dashboard.store, interval_s=interval, node=node
+                        )
+                    else:
+                        series = rollup_status_field(
+                            api.dashboard.store, node=node, field=field,
+                            interval_s=interval,
+                        )
+                except StorageError as exc:
+                    self._send_json({"error": str(exc)}, code=400)
+                    return
+                self._send_json([
+                    {
+                        "start": bucket.start,
+                        "count": bucket.count,
+                        "mean": bucket.mean,
+                        "min": bucket.minimum,
+                        "max": bucket.maximum,
+                    }
+                    for bucket in series.buckets()
+                ])
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0].rstrip("/")
+                if path != "/api/ingest":
+                    self._send_json({"error": "not found"}, code=404)
+                    return
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length)
+                result = api.monitor_server.ingest_json(raw)
+                if result.ok:
+                    self._send_json(
+                        {
+                            "ok": True,
+                            "accepted_packets": result.accepted_packets,
+                            "accepted_status": result.accepted_status,
+                            "duplicates": result.duplicates,
+                        }
+                    )
+                else:
+                    self._send_json({"ok": False, "error": result.error}, code=400)
+
+        return Handler

@@ -1,0 +1,92 @@
+"""Time-series rollups (downsampling) for long-running servers.
+
+Raw per-packet records grow without bound; dashboards plotting a week of
+history want fixed-interval aggregates instead.  A :class:`RollupSeries`
+buckets samples into intervals and keeps count/sum/min/max per bucket;
+:func:`rollup_packet_rate` and :func:`rollup_status_field` build the two
+rollups the dashboard's history panels need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.monitor.records import Direction
+from repro.monitor.storage import MetricsStore
+
+
+@dataclass
+class Bucket:
+    """Aggregates for one rollup interval."""
+
+    start: float
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+
+class RollupSeries:
+    """Fixed-interval bucketing of (timestamp, value) samples."""
+
+    def __init__(self, interval_s: float, origin: float = 0.0) -> None:
+        if interval_s <= 0:
+            raise ConfigurationError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = interval_s
+        self.origin = origin
+        self._buckets: Dict[int, Bucket] = {}
+
+    def add(self, timestamp: float, value: float) -> None:
+        index = int((timestamp - self.origin) // self.interval_s)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = Bucket(start=self.origin + index * self.interval_s)
+            self._buckets[index] = bucket
+        bucket.add(value)
+
+    def buckets(self) -> List[Bucket]:
+        """Buckets in time order (gaps are simply absent)."""
+        return [self._buckets[index] for index in sorted(self._buckets)]
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+def rollup_packet_rate(
+    store: MetricsStore,
+    interval_s: float = 300.0,
+    node: Optional[int] = None,
+    direction: Optional[Direction] = None,
+) -> RollupSeries:
+    """Frames observed per interval (count per bucket = frames; the mean
+    field carries frame sizes for a bytes view)."""
+    series = RollupSeries(interval_s=interval_s)
+    for record in store.packet_records(node=node, direction=direction):
+        series.add(record.timestamp, float(record.size_bytes))
+    return series
+
+
+def rollup_status_field(
+    store: MetricsStore,
+    node: int,
+    field: str,
+    interval_s: float = 300.0,
+) -> RollupSeries:
+    """Rollup of one status field (queue depth, duty, battery, ...)."""
+    series = RollupSeries(interval_s=interval_s)
+    for point in store.status_series(node, [field]):
+        series.add(point["ts"], point[field])
+    return series

@@ -1,0 +1,148 @@
+"""Monitoring server: ingestion, validation and deduplication.
+
+The server accepts batches in either wire format (JSON from the
+out-of-band uplink, binary from the gateway bridge), validates them,
+deduplicates records on (node, record-kind, seq) — the client retries
+failed batches under new batch sequence numbers but stable record
+sequence numbers — and writes accepted records into the
+:class:`~repro.monitor.storage.MetricsStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from repro.errors import DecodeError
+from repro.monitor.records import RecordBatch
+from repro.monitor.storage import MetricsStore
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one batch ingestion."""
+
+    ok: bool
+    accepted_packets: int = 0
+    accepted_status: int = 0
+    duplicates: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class ServerStats:
+    """Server-side counters."""
+
+    batches_ok: int = 0
+    batches_rejected: int = 0
+    records_accepted: int = 0
+    duplicates: int = 0
+    bytes_received: int = 0
+
+
+class _SeqWindow:
+    """Bounded per-node set of recently seen record sequence numbers.
+
+    Sequence numbers are monotonically increasing per client, so keeping
+    the recent window plus a low-water mark gives exact deduplication with
+    bounded memory: anything at or below the mark has been seen.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self._capacity = capacity
+        self._seen: Set[int] = set()
+        self._low_water = -1
+
+    def check_and_add(self, seq: int) -> bool:
+        """Record ``seq``; return True when it is new."""
+        if seq <= self._low_water or seq in self._seen:
+            return False
+        self._seen.add(seq)
+        if len(self._seen) > self._capacity:
+            # Advance the low-water mark past the densest prefix.
+            ordered = sorted(self._seen)
+            cut = len(ordered) // 2
+            self._low_water = ordered[cut - 1]
+            self._seen = set(ordered[cut:])
+        return True
+
+
+class MonitorServer:
+    """Ingestion endpoint feeding the metrics store."""
+
+    def __init__(self, store: Optional[MetricsStore] = None, clock: Optional[Callable[[], float]] = None) -> None:
+        """Create a server.
+
+        Args:
+            store: backing store (a fresh one is created when omitted).
+            clock: returns "server time"; inside a simulation pass the
+                simulator's ``now``.  Defaults to 0.0 (tests that do not
+                care about liveness).
+        """
+        self.store = store if store is not None else MetricsStore()
+        self._clock = clock or (lambda: 0.0)
+        self.stats = ServerStats()
+        self._packet_windows: Dict[int, _SeqWindow] = {}
+        self._status_windows: Dict[int, _SeqWindow] = {}
+
+    def ingest_json(self, raw: bytes) -> IngestResult:
+        """Ingest an out-of-band JSON batch."""
+        self.stats.bytes_received += len(raw)
+        try:
+            batch = RecordBatch.from_json_bytes(raw)
+        except DecodeError as exc:
+            self.stats.batches_rejected += 1
+            return IngestResult(ok=False, error=str(exc))
+        return self._ingest(batch)
+
+    def ingest_binary(self, raw: bytes) -> IngestResult:
+        """Ingest an in-band binary batch (via the gateway bridge)."""
+        self.stats.bytes_received += len(raw)
+        try:
+            batch = RecordBatch.from_binary(raw)
+        except DecodeError as exc:
+            self.stats.batches_rejected += 1
+            return IngestResult(ok=False, error=str(exc))
+        return self._ingest(batch)
+
+    def ingest(self, batch: RecordBatch) -> IngestResult:
+        """Ingest an already decoded batch (tests, local clients)."""
+        return self._ingest(batch)
+
+    def _ingest(self, batch: RecordBatch) -> IngestResult:
+        packet_window = self._packet_windows.setdefault(batch.node, _SeqWindow())
+        status_window = self._status_windows.setdefault(batch.node, _SeqWindow())
+        accepted_packets = 0
+        accepted_status = 0
+        duplicates = 0
+        for record in batch.packet_records:
+            if record.node != batch.node:
+                # A client may only report its own observations.
+                continue
+            if packet_window.check_and_add(record.seq):
+                self.store.add_packet_record(record)
+                accepted_packets += 1
+            else:
+                duplicates += 1
+        for record in batch.status_records:
+            if record.node != batch.node:
+                continue
+            if status_window.check_and_add(record.seq):
+                self.store.add_status_record(record)
+                accepted_status += 1
+            else:
+                duplicates += 1
+        self.store.note_batch(batch.node, self._clock(), batch.dropped_records)
+        # Durable stores (SQLite) expose commit(); flush once per batch.
+        commit = getattr(self.store, "commit", None)
+        if commit is not None:
+            commit()
+        self.stats.batches_ok += 1
+        self.stats.records_accepted += accepted_packets + accepted_status
+        self.stats.duplicates += duplicates
+        return IngestResult(
+            ok=True,
+            accepted_packets=accepted_packets,
+            accepted_status=accepted_status,
+            duplicates=duplicates,
+        )

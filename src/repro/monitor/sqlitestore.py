@@ -1,0 +1,297 @@
+"""SQLite-backed metrics store.
+
+A drop-in alternative to the in-memory :class:`~repro.monitor.storage.MetricsStore`
+for monitoring servers that must survive restarts or hold more telemetry
+than fits in RAM.  Implements the same query interface, so the metric
+aggregations, the dashboard and the HTTP API work unchanged on top of it.
+
+Uses only the standard library ``sqlite3`` module.  Pass ``":memory:"``
+(the default) for an ephemeral database or a file path for persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.monitor.records import (
+    Direction,
+    NeighborObservation,
+    PacketRecord,
+    StatusRecord,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS packet_records (
+    node INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    direction TEXT NOT NULL,
+    src INTEGER NOT NULL,
+    dst INTEGER NOT NULL,
+    next_hop INTEGER NOT NULL,
+    prev_hop INTEGER NOT NULL,
+    ptype INTEGER NOT NULL,
+    packet_id INTEGER NOT NULL,
+    size_bytes INTEGER NOT NULL,
+    rssi REAL,
+    snr REAL,
+    airtime REAL,
+    attempt INTEGER NOT NULL,
+    PRIMARY KEY (node, seq)
+);
+CREATE INDEX IF NOT EXISTS idx_packet_ts ON packet_records (ts);
+CREATE INDEX IF NOT EXISTS idx_packet_src ON packet_records (src);
+
+CREATE TABLE IF NOT EXISTS status_records (
+    node INTEGER NOT NULL,
+    seq INTEGER NOT NULL,
+    ts REAL NOT NULL,
+    uptime_s REAL NOT NULL,
+    queue_depth INTEGER NOT NULL,
+    route_count INTEGER NOT NULL,
+    neighbor_count INTEGER NOT NULL,
+    battery_v REAL NOT NULL,
+    tx_frames INTEGER NOT NULL,
+    tx_airtime_s REAL NOT NULL,
+    retransmissions INTEGER NOT NULL,
+    drops INTEGER NOT NULL,
+    duty REAL NOT NULL,
+    originated INTEGER NOT NULL,
+    delivered INTEGER NOT NULL,
+    forwarded INTEGER NOT NULL,
+    neighbors_json TEXT NOT NULL,
+    PRIMARY KEY (node, seq)
+);
+CREATE INDEX IF NOT EXISTS idx_status_ts ON status_records (node, ts);
+
+CREATE TABLE IF NOT EXISTS batches (
+    node INTEGER PRIMARY KEY,
+    last_seen REAL NOT NULL,
+    dropped INTEGER NOT NULL
+);
+"""
+
+
+class SqliteMetricsStore:
+    """Metrics store persisted in SQLite.
+
+    API-compatible with :class:`~repro.monitor.storage.MetricsStore`.
+    Unlike the in-memory store there is no retention bound; ``evictions``
+    is always 0.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # -- writes ---------------------------------------------------------------
+
+    def add_packet_record(self, record: PacketRecord) -> None:
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO packet_records VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    record.node, record.seq, record.timestamp, record.direction.value,
+                    record.src, record.dst, record.next_hop, record.prev_hop,
+                    record.ptype, record.packet_id, record.size_bytes,
+                    record.rssi_dbm, record.snr_db, record.airtime_s, record.attempt,
+                ),
+            )
+        except sqlite3.Error as exc:
+            raise StorageError(f"sqlite insert failed: {exc}") from exc
+
+    def add_status_record(self, record: StatusRecord) -> None:
+        neighbors_json = json.dumps([n.to_json_dict() for n in record.neighbors])
+        try:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO status_records VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (
+                    record.node, record.seq, record.timestamp, record.uptime_s,
+                    record.queue_depth, record.route_count, record.neighbor_count,
+                    record.battery_v, record.tx_frames, record.tx_airtime_s,
+                    record.retransmissions, record.drops, record.duty_utilisation,
+                    record.originated, record.delivered, record.forwarded,
+                    neighbors_json,
+                ),
+            )
+        except sqlite3.Error as exc:
+            raise StorageError(f"sqlite insert failed: {exc}") from exc
+
+    def note_batch(self, node: int, received_at: float, dropped_records: int) -> None:
+        self._conn.execute(
+            "INSERT INTO batches (node, last_seen, dropped) VALUES (?,?,?) "
+            "ON CONFLICT(node) DO UPDATE SET last_seen=excluded.last_seen, "
+            "dropped=batches.dropped+excluded.dropped",
+            (node, received_at, dropped_records),
+        )
+
+    def commit(self) -> None:
+        """Flush pending writes (call after each ingested batch)."""
+        self._conn.commit()
+
+    # -- reads ----------------------------------------------------------------
+
+    def _packet_from_row(self, row: Tuple) -> PacketRecord:
+        (node, seq, ts, direction, src, dst, next_hop, prev_hop,
+         ptype, packet_id, size_bytes, rssi, snr, airtime, attempt) = row
+        return PacketRecord(
+            node=node, seq=seq, timestamp=ts, direction=Direction(direction),
+            src=src, dst=dst, next_hop=next_hop, prev_hop=prev_hop,
+            ptype=ptype, packet_id=packet_id, size_bytes=size_bytes,
+            rssi_dbm=rssi, snr_db=snr, airtime_s=airtime, attempt=attempt,
+        )
+
+    def _status_from_row(self, row: Tuple) -> StatusRecord:
+        (node, seq, ts, uptime_s, queue_depth, route_count, neighbor_count,
+         battery_v, tx_frames, tx_airtime_s, retransmissions, drops, duty,
+         originated, delivered, forwarded, neighbors_json) = row
+        neighbors = tuple(
+            NeighborObservation.from_json_dict(item)
+            for item in json.loads(neighbors_json)
+        )
+        return StatusRecord(
+            node=node, seq=seq, timestamp=ts, uptime_s=uptime_s,
+            queue_depth=queue_depth, route_count=route_count,
+            neighbor_count=neighbor_count, battery_v=battery_v,
+            tx_frames=tx_frames, tx_airtime_s=tx_airtime_s,
+            retransmissions=retransmissions, drops=drops, duty_utilisation=duty,
+            originated=originated, delivered=delivered, forwarded=forwarded,
+            neighbors=neighbors,
+        )
+
+    def nodes(self) -> List[int]:
+        rows = self._conn.execute(
+            "SELECT node FROM packet_records UNION SELECT node FROM status_records "
+            "UNION SELECT node FROM batches ORDER BY 1"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def packet_records(
+        self,
+        node: Optional[int] = None,
+        direction: Optional[Direction] = None,
+        ptype: Optional[int] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Iterator[PacketRecord]:
+        clauses = []
+        params: List = []
+        for column, value in (
+            ("node", node), ("ptype", ptype), ("src", src), ("dst", dst),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if direction is not None:
+            clauses.append("direction = ?")
+            params.append(direction.value)
+        if since is not None:
+            clauses.append("ts >= ?")
+            params.append(since)
+        if until is not None:
+            clauses.append("ts <= ?")
+            params.append(until)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        cursor = self._conn.execute(
+            f"SELECT * FROM packet_records{where} ORDER BY node, seq", params
+        )
+        for row in cursor:
+            yield self._packet_from_row(row)
+
+    def status_records(
+        self,
+        node: int,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Iterator[StatusRecord]:
+        clauses = ["node = ?"]
+        params: List = [node]
+        if since is not None:
+            clauses.append("ts >= ?")
+            params.append(since)
+        if until is not None:
+            clauses.append("ts <= ?")
+            params.append(until)
+        cursor = self._conn.execute(
+            f"SELECT * FROM status_records WHERE {' AND '.join(clauses)} ORDER BY seq",
+            params,
+        )
+        for row in cursor:
+            yield self._status_from_row(row)
+
+    def latest_status(self, node: int) -> Optional[StatusRecord]:
+        row = self._conn.execute(
+            "SELECT * FROM status_records WHERE node = ? ORDER BY seq DESC LIMIT 1",
+            (node,),
+        ).fetchone()
+        return self._status_from_row(row) if row else None
+
+    def status_series(
+        self,
+        node: int,
+        fields: List[str],
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[Dict[str, float]]:
+        series = []
+        for record in self.status_records(node, since=since, until=until):
+            point: Dict[str, float] = {"ts": record.timestamp}
+            for name in fields:
+                if not hasattr(record, name):
+                    raise StorageError(f"unknown status field {name!r}")
+                point[name] = float(getattr(record, name))
+            series.append(point)
+        return series
+
+    def last_seen(self, node: int) -> Optional[float]:
+        row = self._conn.execute(
+            "SELECT last_seen FROM batches WHERE node = ?", (node,)
+        ).fetchone()
+        return row[0] if row else None
+
+    def reported_drops(self, node: int) -> int:
+        row = self._conn.execute(
+            "SELECT dropped FROM batches WHERE node = ?", (node,)
+        ).fetchone()
+        return row[0] if row else 0
+
+    def packet_record_count(self, node: Optional[int] = None) -> int:
+        if node is not None:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM packet_records WHERE node = ?", (node,)
+            ).fetchone()
+        else:
+            row = self._conn.execute("SELECT COUNT(*) FROM packet_records").fetchone()
+        return row[0]
+
+    def status_record_count(self, node: Optional[int] = None) -> int:
+        if node is not None:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM status_records WHERE node = ?", (node,)
+            ).fetchone()
+        else:
+            row = self._conn.execute("SELECT COUNT(*) FROM status_records").fetchone()
+        return row[0]
+
+    @property
+    def evictions(self) -> int:
+        return 0
+
+    def time_bounds(self) -> Optional[tuple]:
+        row = self._conn.execute(
+            "SELECT MIN(ts), MAX(ts) FROM packet_records"
+        ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        return (row[0], row[1])

@@ -1,0 +1,178 @@
+"""Server-side metrics store.
+
+Holds every accepted packet and status record, indexed per observer node,
+with bounded retention.  Query methods are the substrate for the metric
+aggregations, the dashboard and the HTTP API.
+
+The store is deliberately schema-first rather than a generic TSDB: the
+record types are fixed, so queries can expose exactly the filters the
+dashboard needs (observer, direction, packet type, time window, src/dst).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.errors import StorageError
+from repro.monitor.records import Direction, PacketRecord, StatusRecord
+
+
+class MetricsStore:
+    """In-memory time-series store for telemetry records."""
+
+    def __init__(self, max_packet_records_per_node: int = 200_000, max_status_records_per_node: int = 20_000) -> None:
+        if max_packet_records_per_node < 1 or max_status_records_per_node < 1:
+            raise StorageError("retention bounds must be >= 1")
+        self._packet_by_node: Dict[int, Deque[PacketRecord]] = {}
+        self._status_by_node: Dict[int, Deque[StatusRecord]] = {}
+        self._max_packets = max_packet_records_per_node
+        self._max_status = max_status_records_per_node
+        self._packet_evictions = 0
+        self._dropped_reported: Dict[int, int] = {}
+        self._last_batch_at: Dict[int, float] = {}
+
+    # -- writes ---------------------------------------------------------------
+
+    def add_packet_record(self, record: PacketRecord) -> None:
+        bucket = self._packet_by_node.get(record.node)
+        if bucket is None:
+            bucket = deque(maxlen=self._max_packets)
+            self._packet_by_node[record.node] = bucket
+        if len(bucket) == self._max_packets:
+            self._packet_evictions += 1
+        bucket.append(record)
+
+    def add_status_record(self, record: StatusRecord) -> None:
+        bucket = self._status_by_node.get(record.node)
+        if bucket is None:
+            bucket = deque(maxlen=self._max_status)
+            self._status_by_node[record.node] = bucket
+        bucket.append(record)
+
+    def note_batch(self, node: int, received_at: float, dropped_records: int) -> None:
+        """Record batch-level metadata (client-side loss, liveness)."""
+        self._last_batch_at[node] = received_at
+        if dropped_records:
+            self._dropped_reported[node] = (
+                self._dropped_reported.get(node, 0) + dropped_records
+            )
+
+    # -- reads ----------------------------------------------------------------
+
+    def nodes(self) -> List[int]:
+        """All node addresses that ever reported anything, sorted."""
+        return sorted(
+            set(self._packet_by_node) | set(self._status_by_node) | set(self._last_batch_at)
+        )
+
+    def packet_records(
+        self,
+        node: Optional[int] = None,
+        direction: Optional[Direction] = None,
+        ptype: Optional[int] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Iterator[PacketRecord]:
+        """Iterate packet records matching all given filters."""
+        if node is not None:
+            buckets = [self._packet_by_node.get(node, deque())]
+        else:
+            buckets = [self._packet_by_node[key] for key in sorted(self._packet_by_node)]
+        for bucket in buckets:
+            for record in bucket:
+                if direction is not None and record.direction != direction:
+                    continue
+                if ptype is not None and record.ptype != ptype:
+                    continue
+                if src is not None and record.src != src:
+                    continue
+                if dst is not None and record.dst != dst:
+                    continue
+                if since is not None and record.timestamp < since:
+                    continue
+                if until is not None and record.timestamp > until:
+                    continue
+                yield record
+
+    def status_records(
+        self,
+        node: int,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Iterator[StatusRecord]:
+        """Iterate one node's status records in arrival order."""
+        for record in self._status_by_node.get(node, ()):  # arrival order == time order per node
+            if since is not None and record.timestamp < since:
+                continue
+            if until is not None and record.timestamp > until:
+                continue
+            yield record
+
+    def latest_status(self, node: int) -> Optional[StatusRecord]:
+        bucket = self._status_by_node.get(node)
+        if not bucket:
+            return None
+        return bucket[-1]
+
+    def status_series(
+        self,
+        node: int,
+        fields: List[str],
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[Dict[str, float]]:
+        """Extract a time series of status fields for plotting.
+
+        Raises:
+            StorageError: when a requested field does not exist.
+        """
+        series = []
+        for record in self.status_records(node, since=since, until=until):
+            point: Dict[str, float] = {"ts": record.timestamp}
+            for name in fields:
+                if not hasattr(record, name):
+                    raise StorageError(f"unknown status field {name!r}")
+                point[name] = float(getattr(record, name))
+            series.append(point)
+        return series
+
+    def last_seen(self, node: int) -> Optional[float]:
+        """Server receive time of the node's most recent batch."""
+        return self._last_batch_at.get(node)
+
+    def reported_drops(self, node: int) -> int:
+        """Client-reported buffer-overflow drops for ``node``."""
+        return self._dropped_reported.get(node, 0)
+
+    def packet_record_count(self, node: Optional[int] = None) -> int:
+        if node is not None:
+            return len(self._packet_by_node.get(node, ()))
+        return sum(len(bucket) for bucket in self._packet_by_node.values())
+
+    def status_record_count(self, node: Optional[int] = None) -> int:
+        if node is not None:
+            return len(self._status_by_node.get(node, ()))
+        return sum(len(bucket) for bucket in self._status_by_node.values())
+
+    @property
+    def evictions(self) -> int:
+        """Packet records discarded due to the retention bound."""
+        return self._packet_evictions
+
+    def time_bounds(self) -> Optional[tuple]:
+        """(earliest, latest) packet-record timestamp, or None when empty."""
+        earliest: Optional[float] = None
+        latest: Optional[float] = None
+        for bucket in self._packet_by_node.values():
+            if not bucket:
+                continue
+            if earliest is None or bucket[0].timestamp < earliest:
+                earliest = bucket[0].timestamp
+            if latest is None or bucket[-1].timestamp > latest:
+                latest = bucket[-1].timestamp
+        if earliest is None or latest is None:
+            return None
+        return (earliest, latest)

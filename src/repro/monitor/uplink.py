@@ -1,0 +1,230 @@
+"""Uplink transports between the monitoring client and the server.
+
+Two modes, matching DESIGN.md's T3 ablation:
+
+* :class:`OutOfBandUplink` — the paper's path: the node has a secondary
+  interface (WiFi on the ESP32) and POSTs JSON batches to the server over
+  the Internet.  Modelled as a lossy, delayed request/response channel;
+  a lost request produces no acknowledgement and the client retries, so
+  delivery is at-least-once end to end.
+* :class:`InBandUplink` — telemetry rides the mesh itself as TELEMETRY
+  messages addressed to a gateway node, costing LoRa airtime.  The
+  :class:`GatewayBridge` attached to the gateway hands completed messages
+  to the server.  Delivery is at-most-once: a batch lost in the mesh is
+  gone (the client cannot afford end-to-end acks over LoRa), which is
+  exactly the fidelity trade-off experiment T3 quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.mesh.node import DeliveredMessage, MeshNode
+from repro.mesh.packet import PacketType
+from repro.monitor.records import RecordBatch
+from repro.sim.engine import Simulator
+
+ResultCallback = Callable[[bool], None]
+
+
+@dataclass
+class UplinkStats:
+    """Per-uplink counters."""
+
+    batches_submitted: int = 0
+    batches_delivered: int = 0
+    batches_lost: int = 0
+    bytes_sent: int = 0
+
+
+class Uplink(ABC):
+    """Transport for record batches."""
+
+    def __init__(self) -> None:
+        self.stats = UplinkStats()
+
+    @abstractmethod
+    def send(self, batch: RecordBatch, on_result: ResultCallback) -> None:
+        """Ship ``batch``; invoke ``on_result(ok)`` when the outcome is known
+        from the *client's* point of view."""
+
+    @abstractmethod
+    def wire_size(self, batch: RecordBatch) -> int:
+        """Bytes this batch occupies on this uplink's wire format."""
+
+
+class OutOfBandUplink(Uplink):
+    """Simulated WiFi/HTTP POST to the monitoring server.
+
+    The server object is called directly (``ingest_json``); loss and
+    latency are simulated in front of it.  A lost request surfaces to the
+    client as a failed result after ``timeout_s``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: "SupportsIngestJson",
+        rng: random.Random,
+        loss_probability: float = 0.0,
+        latency_mean_s: float = 0.08,
+        latency_jitter_s: float = 0.04,
+        timeout_s: float = 10.0,
+    ) -> None:
+        super().__init__()
+        if not (0.0 <= loss_probability <= 1.0):
+            raise ConfigurationError(f"loss_probability must be 0..1, got {loss_probability}")
+        if latency_mean_s < 0 or latency_jitter_s < 0 or timeout_s <= 0:
+            raise ConfigurationError("latencies must be >= 0 and timeout > 0")
+        self._sim = sim
+        self._server = server
+        self._rng = rng
+        self._loss = loss_probability
+        self._latency_mean = latency_mean_s
+        self._jitter = latency_jitter_s
+        self._timeout = timeout_s
+
+    def wire_size(self, batch: RecordBatch) -> int:
+        return len(batch.to_json_bytes())
+
+    def _latency(self) -> float:
+        return max(self._latency_mean + self._rng.uniform(-self._jitter, self._jitter), 1e-4)
+
+    def send(self, batch: RecordBatch, on_result: ResultCallback) -> None:
+        raw = batch.to_json_bytes()
+        self.stats.batches_submitted += 1
+        self.stats.bytes_sent += len(raw)
+        if self._rng.random() < self._loss:
+            # Request lost in transit: the server never sees it.
+            self.stats.batches_lost += 1
+            self._sim.call_in(self._timeout, lambda: on_result(False))
+            return
+
+        def deliver() -> None:
+            result = self._server.ingest_json(raw)
+            self.stats.batches_delivered += 1
+            ok = bool(getattr(result, "ok", True))
+            if self._rng.random() < self._loss:
+                # Response lost: the batch WAS ingested, but the client
+                # times out and will retry — the server's per-record
+                # dedup absorbs the duplicate.
+                self._sim.call_in(self._timeout, lambda: on_result(False))
+                return
+            self._sim.call_in(self._latency(), lambda: on_result(ok))
+
+        self._sim.call_in(self._latency(), deliver)
+
+
+class InBandUplink(Uplink):
+    """Telemetry over the mesh to a gateway node.
+
+    The batch is binary-encoded and sent as a TELEMETRY message; the mesh
+    transport segments it across as many LoRa frames as needed.  The
+    result callback reports only *local* acceptance (a route existed and
+    the frames were queued) — there is no end-to-end acknowledgement.
+    """
+
+    def __init__(self, node: MeshNode, gateway_address: int) -> None:
+        super().__init__()
+        if gateway_address == node.address:
+            raise ConfigurationError("in-band uplink gateway cannot be the node itself")
+        self._node = node
+        self.gateway_address = gateway_address
+
+    def wire_size(self, batch: RecordBatch) -> int:
+        return len(batch.to_binary())
+
+    def send(self, batch: RecordBatch, on_result: ResultCallback) -> None:
+        raw = batch.to_binary()
+        self.stats.batches_submitted += 1
+        self.stats.bytes_sent += len(raw)
+        msg_id = self._node.send_message(self.gateway_address, raw, ptype=PacketType.TELEMETRY)
+        if msg_id is None:
+            self.stats.batches_lost += 1
+            on_result(False)
+            return
+        # At-most-once: locally accepted counts as done for the client.
+        self.stats.batches_delivered += 1
+        on_result(True)
+
+
+class ReliableInBandUplink(Uplink):
+    """In-band telemetry with end-to-end acknowledgement and retry.
+
+    Uses a :class:`~repro.mesh.endtoend.ReliableMessenger` so a batch lost
+    in the mesh is retried (at-least-once).  The server's per-record dedup
+    absorbs duplicates from retries whose predecessor actually arrived, so
+    the store converges to exactly-once.  Costs more airtime than the
+    fire-and-forget :class:`InBandUplink` — the T3 bench quantifies it.
+    """
+
+    def __init__(self, messenger, gateway_address: int) -> None:
+        super().__init__()
+        if gateway_address == messenger.node.address:
+            raise ConfigurationError("in-band uplink gateway cannot be the node itself")
+        self._messenger = messenger
+        self.gateway_address = gateway_address
+
+    def wire_size(self, batch: RecordBatch) -> int:
+        return len(batch.to_binary())
+
+    def send(self, batch: RecordBatch, on_result: ResultCallback) -> None:
+        raw = batch.to_binary()
+        self.stats.batches_submitted += 1
+        self.stats.bytes_sent += len(raw)
+
+        def result(ok: bool) -> None:
+            if ok:
+                self.stats.batches_delivered += 1
+            else:
+                self.stats.batches_lost += 1
+            on_result(ok)
+
+        self._messenger.send(
+            self.gateway_address, raw, ptype=PacketType.TELEMETRY, on_result=result
+        )
+
+
+class GatewayBridge:
+    """Glue on the gateway node: completed TELEMETRY messages -> server.
+
+    On the gateway itself telemetry short-circuits: if a
+    :class:`MonitorClient` on the gateway uses an :class:`InBandUplink`
+    pointing at the gateway's own address that is a configuration error;
+    give the gateway an :class:`OutOfBandUplink` instead (it is the node
+    with Internet connectivity).
+    """
+
+    def __init__(self, gateway: MeshNode, server: "SupportsIngestBinary") -> None:
+        self.gateway = gateway
+        self._server = server
+        self.batches_bridged = 0
+        self.batches_rejected = 0
+        gateway.on_deliver.append(self._delivered)
+
+    def _delivered(self, message: DeliveredMessage) -> None:
+        if message.ptype != PacketType.TELEMETRY:
+            return
+        result = self._server.ingest_binary(message.payload)
+        if getattr(result, "ok", True):
+            self.batches_bridged += 1
+        else:
+            self.batches_rejected += 1
+
+
+class SupportsIngestJson:  # pragma: no cover - typing helper
+    """Structural interface: anything with ``ingest_json(bytes)``."""
+
+    def ingest_json(self, raw: bytes):
+        raise NotImplementedError
+
+
+class SupportsIngestBinary:  # pragma: no cover - typing helper
+    """Structural interface: anything with ``ingest_binary(bytes)``."""
+
+    def ingest_binary(self, raw: bytes):
+        raise NotImplementedError

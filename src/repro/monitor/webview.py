@@ -1,0 +1,238 @@
+"""Rich HTML dashboard rendering.
+
+Produces a self-contained HTML page (inline CSS + SVG, no JavaScript
+dependencies) with the panels the paper's dashboard shows: summary tiles,
+an SVG map of the reconstructed topology, and the node / link / delivery
+/ alert tables.  Served at ``GET /`` by the HTTP API; the plain-text
+variant remains available at ``GET /text``.
+
+Node positions on the map are computed server-side with a networkx
+spring layout over the *reported* link graph — the server has no ground
+truth coordinates, which is exactly the paper's situation.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import Dict, List, Tuple
+
+try:  # optional: nicer force-directed layout when available
+    import networkx
+except ImportError:  # pragma: no cover - exercised only without networkx
+    networkx = None
+
+from repro.monitor import metrics
+from repro.monitor.dashboard import Dashboard
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; background: #101418;
+       color: #d8dee4; margin: 0; padding: 1.2em 2em; }
+h1 { font-size: 1.3em; font-weight: 600; }
+h2 { font-size: 1.0em; margin: 1.4em 0 0.4em; color: #9fb0c0;
+     text-transform: uppercase; letter-spacing: 0.08em; }
+.tiles { display: flex; gap: 1em; flex-wrap: wrap; }
+.tile { background: #1a2128; border: 1px solid #2a333d; border-radius: 8px;
+        padding: 0.8em 1.2em; min-width: 9em; }
+.tile .value { font-size: 1.7em; font-weight: 700; color: #7fd4a5; }
+.tile .label { font-size: 0.75em; color: #8796a5; }
+.tile.warn .value { color: #e8c268; }
+.tile.bad .value { color: #e87a68; }
+table { border-collapse: collapse; font-size: 0.85em; margin-top: 0.4em; }
+th, td { padding: 0.3em 0.9em; text-align: left; }
+th { color: #8796a5; border-bottom: 1px solid #2a333d; font-weight: 600; }
+tr:nth-child(even) { background: #151b21; }
+.alert { padding: 0.5em 0.9em; border-left: 3px solid #e87a68; margin: 0.3em 0;
+         background: #1f1a19; font-size: 0.9em; }
+.alert.warning { border-color: #e8c268; background: #1f1d16; }
+svg { background: #0c1013; border: 1px solid #2a333d; border-radius: 8px; }
+.muted { color: #5d6b79; }
+"""
+
+
+def _health_class(score: float) -> str:
+    if score is None or (isinstance(score, float) and math.isnan(score)):
+        return "bad"
+    if score >= 75:
+        return ""
+    if score >= 50:
+        return "warn"
+    return "bad"
+
+
+def _layout(edges: List[Tuple[int, int]], nodes: List[int]) -> Dict[int, Tuple[float, float]]:
+    """Positions in [0, 1]^2 for the reported graph.
+
+    Uses a networkx spring layout when networkx is installed; otherwise
+    falls back to an even circle (always readable, just less shapely).
+    """
+    if not nodes:
+        return {}
+    if networkx is None:  # pragma: no cover - exercised only without networkx
+        count = len(nodes)
+        return {
+            node: (
+                0.5 + 0.45 * math.cos(2 * math.pi * index / count),
+                0.5 + 0.45 * math.sin(2 * math.pi * index / count),
+            )
+            for index, node in enumerate(sorted(nodes))
+        }
+    graph = networkx.Graph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(edges)
+    positions = networkx.spring_layout(graph, seed=7)
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    span_x = (max(xs) - min(xs)) or 1.0
+    span_y = (max(ys) - min(ys)) or 1.0
+    return {
+        node: ((x - min(xs)) / span_x, (y - min(ys)) / span_y)
+        for node, (x, y) in positions.items()
+    }
+
+
+def _rssi_color(rssi_dbm: float) -> str:
+    """Green (strong) -> amber -> red (marginal)."""
+    if rssi_dbm >= -105:
+        return "#5fae7f"
+    if rssi_dbm >= -115:
+        return "#e8c268"
+    return "#e87a68"
+
+
+def render_topology_svg(dashboard: Dashboard, width: int = 640, height: int = 420) -> str:
+    """SVG map of the reported topology, colored by link RSSI."""
+    links = metrics.link_quality(dashboard.store)
+    nodes = dashboard.store.nodes()
+    undirected = {}
+    for (tx, rx), quality in links.items():
+        key = (min(tx, rx), max(tx, rx))
+        existing = undirected.get(key)
+        if existing is None or quality.rssi_mean > existing:
+            undirected[key] = quality.rssi_mean
+    positions = _layout(list(undirected), nodes)
+    margin = 36
+    def sx(x: float) -> float:
+        return margin + x * (width - 2 * margin)
+    def sy(y: float) -> float:
+        return margin + y * (height - 2 * margin)
+
+    parts = [f'<svg width="{width}" height="{height}" xmlns="http://www.w3.org/2000/svg">']
+    for (a, b), rssi in sorted(undirected.items()):
+        if a not in positions or b not in positions:
+            continue
+        xa, ya = positions[a]
+        xb, yb = positions[b]
+        parts.append(
+            f'<line x1="{sx(xa):.1f}" y1="{sy(ya):.1f}" x2="{sx(xb):.1f}" '
+            f'y2="{sy(yb):.1f}" stroke="{_rssi_color(rssi)}" stroke-width="1.5" '
+            f'opacity="0.7"><title>{a}&#8596;{b}: {rssi:.1f} dBm</title></line>'
+        )
+    for node in nodes:
+        if node not in positions:
+            continue
+        x, y = positions[node]
+        parts.append(
+            f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="13" fill="#1f2933" '
+            'stroke="#5d8aa8" stroke-width="1.5" />'
+        )
+        parts.append(
+            f'<text x="{sx(x):.1f}" y="{sy(y) + 4:.1f}" text-anchor="middle" '
+            'font-size="11" fill="#d8dee4" font-family="sans-serif">'
+            f"{node}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_html(dashboard: Dashboard, now: float) -> str:
+    """Full self-contained HTML dashboard page."""
+    dashboard.alerts.evaluate(now)
+    document = dashboard.to_json_dict(now)
+
+    def fmt(value, suffix="", digits=1):
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return '<span class="muted">–</span>'
+        return f"{value:.{digits}f}{suffix}"
+
+    nodes = document["nodes"]
+    online = sum(
+        1 for row in nodes
+        if row["last_seen_age_s"] is not None
+        and row["last_seen_age_s"] < dashboard.report_interval_s * 3
+    )
+    health = document["network_health"]
+    pdr = document["network_pdr"]
+    health_tile_class = _health_class(health)
+    pdr_percent = None if pdr is None or (isinstance(pdr, float) and math.isnan(pdr)) else pdr * 100
+
+    sections = [
+        "<!DOCTYPE html>",
+        '<html><head><meta charset="utf-8">',
+        '<meta http-equiv="refresh" content="10">',
+        "<title>LoRa mesh monitor</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>LoRa mesh monitor <span class='muted'>t={now:.0f}s</span></h1>",
+        '<div class="tiles">',
+        f'<div class="tile {health_tile_class}"><div class="value">{fmt(health, "", 0)}</div>'
+        '<div class="label">network health / 100</div></div>',
+        f'<div class="tile"><div class="value">{fmt(pdr_percent, "%", 1)}</div>'
+        '<div class="label">packet delivery</div></div>',
+        f'<div class="tile"><div class="value">{online}/{len(nodes)}</div>'
+        '<div class="label">nodes reporting</div></div>',
+        f'<div class="tile"><div class="value">{len(document["links"])}</div>'
+        '<div class="label">radio links seen</div></div>',
+        "</div>",
+        "<h2>Topology (as reported)</h2>",
+        render_topology_svg(dashboard),
+    ]
+
+    sections.append("<h2>Nodes</h2><table><tr><th>node</th><th>seen</th>"
+                    "<th>battery</th><th>queue</th><th>routes</th>"
+                    "<th>neighbors</th><th>duty</th><th>health</th></tr>")
+    for row in nodes:
+        duty = row["duty"]
+        sections.append(
+            "<tr>"
+            f"<td>{row['node']}</td>"
+            f"<td>{fmt(row['last_seen_age_s'], 's', 0)}</td>"
+            f"<td>{fmt(row['battery_v'], ' V', 2)}</td>"
+            f"<td>{row['queue'] if row['queue'] is not None else '–'}</td>"
+            f"<td>{row['routes'] if row['routes'] is not None else '–'}</td>"
+            f"<td>{row['neighbors'] if row['neighbors'] is not None else '–'}</td>"
+            f"<td>{fmt(duty * 100 if duty is not None else None, '%', 1)}</td>"
+            f"<td>{fmt(row['health'], '', 0)}</td>"
+            "</tr>"
+        )
+    sections.append("</table>")
+
+    sections.append("<h2>Delivery</h2><table><tr><th>src</th><th>dst</th>"
+                    "<th>sent</th><th>delivered</th><th>PDR</th>"
+                    "<th>latency (mean)</th></tr>")
+    for row in document["delivery"]:
+        row_pdr = row["pdr"]
+        sections.append(
+            "<tr>"
+            f"<td>{row['src']}</td><td>{row['dst']}</td>"
+            f"<td>{row['sent']}</td><td>{row['delivered']}</td>"
+            f"<td>{fmt(row_pdr * 100 if row_pdr is not None else None, '%', 1)}</td>"
+            f"<td>{fmt(row['latency_mean_s'], ' s', 2)}</td>"
+            "</tr>"
+        )
+    sections.append("</table>")
+
+    sections.append("<h2>Alerts</h2>")
+    alerts = document["alerts"]
+    if not alerts:
+        sections.append('<p class="muted">no active alerts</p>')
+    for alert in alerts:
+        target = f"node {alert['node']}" if alert["node"] is not None else "network"
+        sections.append(
+            f'<div class="alert {html.escape(alert["severity"])}">'
+            f"<b>{html.escape(alert['rule'])}</b> — {target}: "
+            f"{html.escape(alert['message'])} "
+            f'<span class="muted">since t={alert["raised_at"]:.0f}s</span></div>'
+        )
+
+    sections.append("</body></html>")
+    return "\n".join(sections)

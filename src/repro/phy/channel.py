@@ -1,0 +1,288 @@
+"""Shared-medium channel arbiter.
+
+The :class:`Channel` is the broadcast medium connecting all simulated radios.
+On each transmission it
+
+1. computes per-receiver RSSI from the link model,
+2. snapshots which nodes are listening when the preamble starts,
+3. schedules a delivery evaluation at frame end, where the collision model
+   decides — per receiver — whether the frame survived all overlapping
+   transmissions,
+4. emits ground-truth trace events (``phy.tx``, ``phy.rx``, ``phy.collision``,
+   ``phy.below_sensitivity``, ``phy.rx_missed``).
+
+Nodes attach with two callbacks: ``on_receive`` (invoked with a
+:class:`Reception`) and ``is_listening`` (polled to decide whether the radio
+could hear the preamble).  Half-duplex is enforced: a node whose own
+transmission overlaps an incoming frame never receives it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.phy.airtime import time_on_air
+from repro.phy.collision import CollisionModel, FrameOnAir
+from repro.phy.link import LinkModel
+from repro.phy.params import LoRaParams
+from repro.sim.engine import Simulator
+from repro.sim.topology import Topology
+from repro.sim.trace import TraceLog
+
+
+@dataclass
+class Transmission:
+    """One frame in flight on the medium."""
+
+    tx_id: int
+    sender: int
+    params: LoRaParams
+    payload: Any
+    payload_bytes: int
+    start: float
+    end: float
+    #: RSSI of this frame at every other node, drawn once at start.
+    rssi_at: Dict[int, float] = field(default_factory=dict)
+    #: Nodes that were listening (radio in RX, not transmitting) at start.
+    listeners_at_start: Set[int] = field(default_factory=set)
+
+    def as_frame(self, receiver: int) -> FrameOnAir:
+        """Collision-model view of this transmission at ``receiver``."""
+        return FrameOnAir(
+            params=self.params,
+            rssi_dbm=self.rssi_at[receiver],
+            start=self.start,
+            end=self.end,
+        )
+
+
+@dataclass(frozen=True)
+class Reception:
+    """Delivered frame, as seen by the receiving radio driver."""
+
+    sender: int
+    receiver: int
+    payload: Any
+    payload_bytes: int
+    rssi_dbm: float
+    snr_db: float
+    params: LoRaParams
+    start: float
+    end: float
+
+
+class Channel:
+    """Broadcast LoRa medium over a fixed topology."""
+
+    #: How far below sensitivity a frame can be and still raise the CAD
+    #: busy indication (preamble detection is a little more sensitive than
+    #: full demodulation).
+    CAD_MARGIN_DB = 3.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        link_model: LinkModel,
+        collision_model: Optional[CollisionModel] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self._sim = sim
+        self._topology = topology
+        self._link = link_model
+        self._collisions = collision_model or CollisionModel()
+        # Explicit None check: an empty TraceLog is falsy (it has __len__).
+        self._trace = trace if trace is not None else TraceLog()
+        self._tx_ids = itertools.count(1)
+        self._active: List[Transmission] = []
+        self._recent: List[Transmission] = []
+        self._on_receive: Dict[int, Callable[[Reception], None]] = {}
+        self._is_listening: Dict[int, Callable[[], bool]] = {}
+
+    @property
+    def trace(self) -> TraceLog:
+        return self._trace
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def link_model(self) -> LinkModel:
+        return self._link
+
+    def attach(
+        self,
+        address: int,
+        on_receive: Callable[[Reception], None],
+        is_listening: Callable[[], bool],
+    ) -> None:
+        """Register a node's radio with the medium.
+
+        Raises:
+            ConfigurationError: if the address is not in the topology or is
+                already attached.
+        """
+        if address not in self._topology.positions:
+            raise ConfigurationError(f"node {address} is not in the topology")
+        if address in self._on_receive:
+            raise ConfigurationError(f"node {address} already attached")
+        self._on_receive[address] = on_receive
+        self._is_listening[address] = is_listening
+
+    def detach(self, address: int) -> None:
+        """Remove a node (e.g. simulated hardware failure)."""
+        self._on_receive.pop(address, None)
+        self._is_listening.pop(address, None)
+
+    def is_busy(self, address: int) -> bool:
+        """Carrier/CAD sense at ``address``: any detectable frame on air?
+
+        Used by the CSMA MAC.  Detection uses sensitivity minus a small CAD
+        margin; frames below that are invisible, which reproduces the hidden
+        terminal problem.
+        """
+        from repro.phy.link import sensitivity_dbm
+
+        for tx in self._active:
+            if tx.sender == address:
+                return True
+            rssi = tx.rssi_at.get(address)
+            if rssi is None:
+                continue
+            if rssi >= sensitivity_dbm(tx.params) - self.CAD_MARGIN_DB:
+                return True
+        return False
+
+    def airtime(self, params: LoRaParams, payload_bytes: int) -> float:
+        """Frame duration for these settings (convenience passthrough)."""
+        return time_on_air(params, payload_bytes)
+
+    def transmit(
+        self,
+        sender: int,
+        params: LoRaParams,
+        payload: Any,
+        payload_bytes: int,
+    ) -> Transmission:
+        """Put a frame on the air starting now.
+
+        The caller (the MAC) is responsible for half-duplex bookkeeping on
+        its own radio and for duty-cycle accounting; the channel enforces
+        propagation physics only.
+
+        Returns:
+            The in-flight :class:`Transmission` (mainly for tests).
+        """
+        now = self._sim.now
+        end = now + time_on_air(params, payload_bytes)
+        tx = Transmission(
+            tx_id=next(self._tx_ids),
+            sender=sender,
+            params=params,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            start=now,
+            end=end,
+        )
+        for node in self._topology.nodes():
+            if node == tx.sender:
+                continue
+            distance = self._topology.distance(tx.sender, node)
+            tx.rssi_at[node] = self._link.received_power_dbm(
+                params.tx_power_dbm, distance, tx.sender, node
+            )
+            listener = self._is_listening.get(node)
+            if listener is not None and listener():
+                tx.listeners_at_start.add(node)
+        self._active.append(tx)
+        self._trace.emit(
+            now,
+            "phy.tx",
+            node=sender,
+            tx_id=tx.tx_id,
+            payload_bytes=payload_bytes,
+            airtime=end - now,
+            frequency_hz=params.frequency_hz,
+            sf=params.spreading_factor,
+        )
+        self._sim.call_at(end, lambda: self._complete(tx), priority=-1)
+        return tx
+
+    def _overlapping(self, tx: Transmission) -> List[Transmission]:
+        """All other transmissions whose air interval overlaps ``tx``."""
+        return [
+            other
+            for other in itertools.chain(self._active, self._recent)
+            if other.tx_id != tx.tx_id and tx.start < other.end and other.start < tx.end
+        ]
+
+    def _own_tx_overlaps(self, node: int, tx: Transmission) -> bool:
+        """Whether ``node`` transmitted at any point during ``tx`` (half-duplex)."""
+        return any(
+            other.sender == node and tx.start < other.end and other.start < tx.end
+            for other in itertools.chain(self._active, self._recent)
+            if other.tx_id != tx.tx_id
+        )
+
+    def _complete(self, tx: Transmission) -> None:
+        """Frame end: decide reception at every node and clean up."""
+        self._active.remove(tx)
+        self._recent.append(tx)
+        # Keep recently finished frames long enough to serve as interferers
+        # for anything that overlapped them.
+        horizon = self._sim.now - 30.0
+        self._recent = [t for t in self._recent if t.end >= horizon]
+
+        overlapping = self._overlapping(tx)
+        for node in self._topology.nodes():
+            if node == tx.sender:
+                continue
+            handler = self._on_receive.get(node)
+            if handler is None:
+                continue
+            rssi = tx.rssi_at[node]
+            if not self._link.is_receivable(rssi, tx.params):
+                self._trace.emit(
+                    self._sim.now, "phy.below_sensitivity", node=node, tx_id=tx.tx_id, rssi=rssi
+                )
+                continue
+            if node not in tx.listeners_at_start or self._own_tx_overlaps(node, tx):
+                self._trace.emit(self._sim.now, "phy.rx_missed", node=node, tx_id=tx.tx_id)
+                continue
+            # Frames the node itself sent do not appear at the antenna as
+            # interference (it was not listening then anyway).
+            interferers = [
+                other.as_frame(node)
+                for other in overlapping
+                if other.sender != node and node in other.rssi_at
+            ]
+            if not self._collisions.survives(tx.as_frame(node), interferers):
+                self._trace.emit(
+                    self._sim.now,
+                    "phy.collision",
+                    node=node,
+                    tx_id=tx.tx_id,
+                    n_interferers=len(interferers),
+                )
+                continue
+            snr = self._link.snr_db(rssi, tx.params.bandwidth_hz)
+            self._trace.emit(
+                self._sim.now, "phy.rx", node=node, tx_id=tx.tx_id, rssi=rssi, snr=snr
+            )
+            handler(
+                Reception(
+                    sender=tx.sender,
+                    receiver=node,
+                    payload=tx.payload,
+                    payload_bytes=tx.payload_bytes,
+                    rssi_dbm=rssi,
+                    snr_db=snr,
+                    params=tx.params,
+                    start=tx.start,
+                    end=tx.end,
+                )
+            )

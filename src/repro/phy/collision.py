@@ -1,0 +1,138 @@
+"""LoRa collision model.
+
+Follows the widely used LoRaSim rules (Bor et al., "Do LoRa Low-Power
+Wide-Area Networks Scale?", MSWiM 2016), which decompose "do two overlapping
+transmissions destroy each other at a given receiver?" into four conditions:
+
+* **frequency**: carriers must overlap within a guard band that depends on
+  bandwidth; otherwise the frames never interact;
+* **spreading factor**: different SFs are quasi-orthogonal — same-SF frames
+  interfere, cross-SF frames only interfere if the interferer is much
+  stronger (we use a conservative cross-SF rejection threshold);
+* **power (capture effect)**: a frame survives same-SF interference when it
+  is at least ``capture_threshold_db`` (default 6 dB) stronger than the
+  *sum* of interferers;
+* **timing (critical section)**: a weaker frame still survives if the
+  interference ends before its last ``critical_preamble_symbols`` preamble
+  symbols begin — the receiver can then still lock onto the preamble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.phy.airtime import symbol_time
+from repro.phy.params import LoRaParams
+from repro.units import db_sum
+
+
+@dataclass(frozen=True)
+class FrameOnAir:
+    """What the collision model needs to know about one frame at a receiver.
+
+    Attributes:
+        params: modulation settings of the frame.
+        rssi_dbm: received power at this receiver.
+        start: transmission start time (s).
+        end: transmission end time (s).
+    """
+
+    params: LoRaParams
+    rssi_dbm: float
+    start: float
+    end: float
+
+    def overlaps(self, other: "FrameOnAir") -> bool:
+        """Whether the two frames are on air simultaneously at any instant."""
+        return self.start < other.end and other.start < self.end
+
+
+class CollisionModel:
+    """Decides frame survival under concurrent transmissions."""
+
+    def __init__(
+        self,
+        capture_threshold_db: float = 6.0,
+        cross_sf_rejection_db: float = 16.0,
+        critical_preamble_symbols: int = 5,
+    ) -> None:
+        """Create a collision model.
+
+        Args:
+            capture_threshold_db: power advantage needed to survive same-SF
+                interference (LoRaSim uses 6 dB).
+            cross_sf_rejection_db: how much *stronger* a different-SF
+                interferer must be to corrupt the frame (imperfect
+                orthogonality; interferer wins only above this margin).
+            critical_preamble_symbols: number of trailing preamble symbols
+                the receiver needs interference-free to lock on.
+        """
+        self.capture_threshold_db = capture_threshold_db
+        self.cross_sf_rejection_db = cross_sf_rejection_db
+        self.critical_preamble_symbols = critical_preamble_symbols
+
+    def frequency_overlap(self, a: LoRaParams, b: LoRaParams) -> bool:
+        """Whether two carriers are close enough to interact.
+
+        Uses the LoRaSim guard rules: 500 kHz carriers need 120 kHz
+        separation, 250 kHz need 60 kHz, 125 kHz need 30 kHz.
+        """
+        min_bw = min(a.bandwidth_hz, b.bandwidth_hz)
+        if min_bw >= 500_000:
+            guard_hz = 120_000
+        elif min_bw >= 250_000:
+            guard_hz = 60_000
+        else:
+            guard_hz = 30_000
+        return abs(a.frequency_hz - b.frequency_hz) < guard_hz
+
+    def _critical_section_start(self, frame: FrameOnAir) -> float:
+        """Time after which interference prevents preamble lock."""
+        t_sym = symbol_time(frame.params)
+        locked_after = (frame.params.preamble_symbols - self.critical_preamble_symbols) * t_sym
+        return frame.start + max(locked_after, 0.0)
+
+    def survives(self, frame: FrameOnAir, interferers: Sequence[FrameOnAir]) -> bool:
+        """Whether ``frame`` is correctly received despite ``interferers``.
+
+        The caller passes every other frame on air at this receiver during
+        the frame; non-overlapping and far-frequency frames are ignored
+        here, so passing a superset is safe.
+        """
+        relevant: List[FrameOnAir] = [
+            other
+            for other in interferers
+            if other is not frame
+            and frame.overlaps(other)
+            and self.frequency_overlap(frame.params, other.params)
+        ]
+        if not relevant:
+            return True
+
+        critical_start = self._critical_section_start(frame)
+        same_sf: List[FrameOnAir] = []
+        for other in relevant:
+            if other.params.spreading_factor == frame.params.spreading_factor:
+                same_sf.append(other)
+            else:
+                # Cross-SF: quasi-orthogonal unless the interferer is vastly
+                # stronger and hits the critical section.
+                if (
+                    other.rssi_dbm - frame.rssi_dbm >= self.cross_sf_rejection_db
+                    and other.end > critical_start
+                ):
+                    return False
+
+        if not same_sf:
+            return True
+
+        # Timing rule: interference confined to the early preamble is harmless.
+        dangerous = [other for other in same_sf if other.end > critical_start]
+        if not dangerous:
+            return True
+
+        # Capture rule: survive if stronger than the sum of dangerous
+        # interferers by the capture threshold.
+        interference_dbm = db_sum([other.rssi_dbm for other in dangerous])
+        return frame.rssi_dbm - interference_dbm >= self.capture_threshold_db

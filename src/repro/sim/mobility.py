@@ -1,0 +1,210 @@
+"""Node mobility models.
+
+The paper's meshes are mostly static rooftop deployments, but LoRa mesh
+use cases (Meshtastic hikers, vehicle fleets, livestock tracking) move —
+and a monitoring system must keep its picture current while links appear
+and vanish.  This module animates a subset of nodes over the topology:
+
+* :class:`RandomWaypointMobility` — the classic model: pick a waypoint,
+  walk to it at a random speed, pause, repeat;
+* :class:`ConstantVelocityMobility` — straight-line motion with bouncing
+  at the area edges (vehicles on a corridor).
+
+Positions are updated in place on the shared :class:`~repro.sim.topology.Topology`
+every ``update_interval_s``; the channel computes distances at transmit
+time, so all in-flight physics immediately reflect the movement.  The
+per-link static shadowing draw stays attached to the node *pair* (an
+approximation — strictly it should decorrelate with distance travelled).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.topology import Topology
+from repro.sim.trace import TraceLog
+
+
+class _MobileState:
+    """Per-node movement state."""
+
+    def __init__(self, position: Tuple[float, float]) -> None:
+        self.position = position
+        self.waypoint: Optional[Tuple[float, float]] = None
+        self.speed_mps = 0.0
+        self.pause_until = 0.0
+        self.velocity: Tuple[float, float] = (0.0, 0.0)
+
+
+class RandomWaypointMobility:
+    """Random-waypoint movement for a subset of nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        nodes: Sequence[int],
+        rng: random.Random,
+        area_m: float,
+        speed_range_mps: Tuple[float, float] = (0.5, 2.0),
+        pause_range_s: Tuple[float, float] = (0.0, 60.0),
+        update_interval_s: float = 5.0,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        """Create (but not start) the mobility process.
+
+        Args:
+            sim: simulator driving the updates.
+            topology: shared topology whose positions are animated.
+            nodes: addresses that move (must exist in the topology).
+            rng: stream for waypoints/speeds/pauses.
+            area_m: square side within which waypoints are drawn.
+            speed_range_mps: (min, max) walking speed.
+            pause_range_s: (min, max) pause at each waypoint.
+            update_interval_s: position update granularity.
+            trace: optional trace log (emits ``mobility.move`` events).
+        """
+        low, high = speed_range_mps
+        if low <= 0 or high < low:
+            raise ConfigurationError(f"bad speed range {speed_range_mps}")
+        if pause_range_s[0] < 0 or pause_range_s[1] < pause_range_s[0]:
+            raise ConfigurationError(f"bad pause range {pause_range_s}")
+        if update_interval_s <= 0:
+            raise ConfigurationError(
+                f"update_interval_s must be > 0, got {update_interval_s}"
+            )
+        for node in nodes:
+            if node not in topology.positions:
+                raise ConfigurationError(f"mobile node {node} not in topology")
+        self._sim = sim
+        self._topology = topology
+        self._rng = rng
+        self._area_m = area_m
+        self._speed_range = speed_range_mps
+        self._pause_range = pause_range_s
+        self._interval = update_interval_s
+        self._trace = trace
+        self._state: Dict[int, _MobileState] = {
+            node: _MobileState(topology.positions[node]) for node in nodes
+        }
+        self._handle = None
+        self.total_distance_m: Dict[int, float] = {node: 0.0 for node in nodes}
+
+    @property
+    def mobile_nodes(self) -> List[int]:
+        return sorted(self._state)
+
+    def start(self) -> None:
+        if self._handle is not None:
+            return
+        self._handle = self._sim.call_every(self._interval, self._step)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _new_waypoint(self, state: _MobileState) -> None:
+        state.waypoint = (
+            self._rng.uniform(0.0, self._area_m),
+            self._rng.uniform(0.0, self._area_m),
+        )
+        state.speed_mps = self._rng.uniform(*self._speed_range)
+
+    def _step(self) -> None:
+        now = self._sim.now
+        for node, state in self._state.items():
+            if now < state.pause_until:
+                continue
+            if state.waypoint is None:
+                self._new_waypoint(state)
+            x, y = state.position
+            wx, wy = state.waypoint
+            remaining = math.hypot(wx - x, wy - y)
+            step = state.speed_mps * self._interval
+            if step >= remaining:
+                new_position = (wx, wy)
+                state.waypoint = None
+                pause = self._rng.uniform(*self._pause_range)
+                state.pause_until = now + pause
+                moved = remaining
+            else:
+                fraction = step / remaining
+                new_position = (x + (wx - x) * fraction, y + (wy - y) * fraction)
+                moved = step
+            state.position = new_position
+            self._topology.positions[node] = new_position
+            self.total_distance_m[node] += moved
+            if self._trace is not None and moved > 0:
+                self._trace.emit(
+                    now, "mobility.move", node=node,
+                    x=round(new_position[0], 1), y=round(new_position[1], 1),
+                )
+
+
+class ConstantVelocityMobility:
+    """Straight-line motion with elastic bouncing at the area edges."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        nodes: Sequence[int],
+        rng: random.Random,
+        area_m: float,
+        speed_mps: float = 5.0,
+        update_interval_s: float = 5.0,
+    ) -> None:
+        if speed_mps <= 0:
+            raise ConfigurationError(f"speed_mps must be > 0, got {speed_mps}")
+        if update_interval_s <= 0:
+            raise ConfigurationError(
+                f"update_interval_s must be > 0, got {update_interval_s}"
+            )
+        for node in nodes:
+            if node not in topology.positions:
+                raise ConfigurationError(f"mobile node {node} not in topology")
+        self._sim = sim
+        self._topology = topology
+        self._area_m = area_m
+        self._interval = update_interval_s
+        self._state: Dict[int, _MobileState] = {}
+        for node in nodes:
+            state = _MobileState(topology.positions[node])
+            heading = rng.uniform(0.0, 2 * math.pi)
+            state.velocity = (speed_mps * math.cos(heading), speed_mps * math.sin(heading))
+            self._state[node] = state
+        self._handle = None
+
+    def start(self) -> None:
+        if self._handle is not None:
+            return
+        self._handle = self._sim.call_every(self._interval, self._step)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _step(self) -> None:
+        for node, state in self._state.items():
+            x, y = state.position
+            vx, vy = state.velocity
+            x += vx * self._interval
+            y += vy * self._interval
+            # Bounce at the edges.
+            if x < 0:
+                x, vx = -x, -vx
+            elif x > self._area_m:
+                x, vx = 2 * self._area_m - x, -vx
+            if y < 0:
+                y, vy = -y, -vy
+            elif y > self._area_m:
+                y, vy = 2 * self._area_m - y, -vy
+            state.position = (x, y)
+            state.velocity = (vx, vy)
+            self._topology.positions[node] = (x, y)

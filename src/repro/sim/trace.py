@@ -1,0 +1,78 @@
+"""Structured trace log for simulations.
+
+The trace is the simulator-side ground truth: the mesh stack and PHY emit
+events into it, and the analysis layer compares what the monitoring system
+*observed* against what the trace says *happened*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One ground-truth event.
+
+    Attributes:
+        time: simulation time in seconds.
+        kind: event category, e.g. ``"phy.tx"``, ``"phy.rx"``,
+            ``"phy.collision"``, ``"mesh.deliver"``, ``"node.fail"``.
+        node: address of the node the event concerns (or ``None`` for
+            network-wide events).
+        data: free-form payload with event-specific fields.
+    """
+
+    time: float
+    kind: str
+    node: Optional[int]
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only event log with simple filtering and counting."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        """Create a trace log.
+
+        Args:
+            capacity: optional bound on retained events; when exceeded the
+                oldest events are dropped (the running counters keep exact
+                totals regardless).
+        """
+        self._events: List[TraceEvent] = []
+        self._capacity = capacity
+        self._counts: Dict[str, int] = {}
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+
+    def emit(self, time: float, kind: str, node: Optional[int] = None, **data: Any) -> TraceEvent:
+        """Record an event and notify listeners."""
+        event = TraceEvent(time=time, kind=kind, node=node, data=data)
+        self._events.append(event)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self._capacity is not None and len(self._events) > self._capacity:
+            del self._events[: len(self._events) - self._capacity]
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked synchronously for every new event."""
+        self._listeners.append(listener)
+
+    def count(self, kind: str) -> int:
+        """Exact number of events of ``kind`` emitted so far."""
+        return self._counts.get(kind, 0)
+
+    def events(self, kind: Optional[str] = None, node: Optional[int] = None) -> Iterator[TraceEvent]:
+        """Iterate retained events, optionally filtered by kind and/or node."""
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if node is not None and event.node != node:
+                continue
+            yield event
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,240 @@
+"""Traffic generators driving application messages through mesh nodes.
+
+Each workload owns one source node and one destination, and sends payloads
+on its own schedule.  The patterns cover the deployments the paper's
+introduction motivates: periodic environmental sensors, Poisson telemetry,
+bursty event reporting (e.g. camera traps), and rare alarm events.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.mesh.node import MeshNode
+from repro.sim.engine import Simulator
+
+
+class Workload(ABC):
+    """Base class: a message schedule from one node to one destination."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MeshNode,
+        dst: int,
+        payload_bytes: int,
+        rng: random.Random,
+    ) -> None:
+        if payload_bytes < 0:
+            raise ConfigurationError(f"payload_bytes must be >= 0, got {payload_bytes}")
+        self._sim = sim
+        self.node = node
+        self.dst = dst
+        self.payload_bytes = payload_bytes
+        self._rng = rng
+        self.messages_sent = 0
+        self.messages_rejected = 0
+        self._running = False
+
+    def _payload(self) -> bytes:
+        return bytes(self._rng.randrange(256) for _ in range(self.payload_bytes))
+
+    def _emit(self) -> None:
+        if self.node.failed:
+            return
+        msg_id = self.node.send_message(self.dst, self._payload())
+        if msg_id is None:
+            self.messages_rejected += 1
+        else:
+            self.messages_sent += 1
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin generating traffic."""
+
+    def stop(self) -> None:
+        self._running = False
+
+
+class PeriodicWorkload(Workload):
+    """Fixed-interval sensor readings with per-message jitter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MeshNode,
+        dst: int,
+        interval_s: float,
+        payload_bytes: int = 24,
+        rng: Optional[random.Random] = None,
+        jitter_fraction: float = 0.1,
+    ) -> None:
+        super().__init__(sim, node, dst, payload_bytes, rng or random.Random(node.address))
+        if interval_s <= 0:
+            raise ConfigurationError(f"interval_s must be > 0, got {interval_s}")
+        if not (0.0 <= jitter_fraction < 1.0):
+            raise ConfigurationError(f"jitter_fraction must be in [0,1), got {jitter_fraction}")
+        self.interval_s = interval_s
+        self._jitter = jitter_fraction
+
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next(first=True)
+
+    def _schedule_next(self, first: bool = False) -> None:
+        if not self._running:
+            return
+        base = self.interval_s
+        delay = base * (1.0 + self._rng.uniform(-self._jitter, self._jitter))
+        if first:
+            delay = self._rng.uniform(0, base)
+
+        def fire() -> None:
+            if not self._running:
+                return
+            self._emit()
+            self._schedule_next()
+
+        self._sim.call_in(delay, fire)
+
+
+class PoissonWorkload(Workload):
+    """Exponential inter-arrival times at a given mean rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MeshNode,
+        dst: int,
+        rate_per_s: float,
+        payload_bytes: int = 24,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(sim, node, dst, payload_bytes, rng or random.Random(node.address))
+        if rate_per_s <= 0:
+            raise ConfigurationError(f"rate_per_s must be > 0, got {rate_per_s}")
+        self.rate_per_s = rate_per_s
+
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        delay = self._rng.expovariate(self.rate_per_s)
+
+        def fire() -> None:
+            if not self._running:
+                return
+            self._emit()
+            self._schedule_next()
+
+        self._sim.call_in(delay, fire)
+
+
+class BurstyWorkload(Workload):
+    """Quiet periods punctuated by back-to-back bursts of messages."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MeshNode,
+        dst: int,
+        burst_interval_s: float,
+        burst_size: int = 5,
+        intra_burst_gap_s: float = 2.0,
+        payload_bytes: int = 48,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(sim, node, dst, payload_bytes, rng or random.Random(node.address))
+        if burst_interval_s <= 0 or intra_burst_gap_s < 0:
+            raise ConfigurationError("burst intervals must be positive")
+        if burst_size < 1:
+            raise ConfigurationError(f"burst_size must be >= 1, got {burst_size}")
+        self.burst_interval_s = burst_interval_s
+        self.burst_size = burst_size
+        self.intra_burst_gap_s = intra_burst_gap_s
+
+    def start(self) -> None:
+        self._running = True
+        self._schedule_burst(first=True)
+
+    def _schedule_burst(self, first: bool = False) -> None:
+        if not self._running:
+            return
+        delay = self._rng.uniform(0, self.burst_interval_s) if first else (
+            self.burst_interval_s * self._rng.uniform(0.8, 1.2)
+        )
+
+        def burst() -> None:
+            if not self._running:
+                return
+            for index in range(self.burst_size):
+                self._sim.call_in(index * self.intra_burst_gap_s, self._burst_message)
+            self._schedule_burst()
+
+        self._sim.call_in(delay, burst)
+
+    def _burst_message(self) -> None:
+        if self._running:
+            self._emit()
+
+
+class EventWorkload(Workload):
+    """Rare alarm events: per-check Bernoulli trial at a fixed cadence."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: MeshNode,
+        dst: int,
+        check_interval_s: float = 60.0,
+        event_probability: float = 0.05,
+        payload_bytes: int = 16,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(sim, node, dst, payload_bytes, rng or random.Random(node.address))
+        if check_interval_s <= 0:
+            raise ConfigurationError(f"check_interval_s must be > 0, got {check_interval_s}")
+        if not (0.0 <= event_probability <= 1.0):
+            raise ConfigurationError(
+                f"event_probability must be 0..1, got {event_probability}"
+            )
+        self.check_interval_s = check_interval_s
+        self.event_probability = event_probability
+
+    def start(self) -> None:
+        self._running = True
+
+        def check() -> None:
+            if not self._running:
+                return
+            if self._rng.random() < self.event_probability:
+                self._emit()
+            self._sim.call_in(self.check_interval_s, check)
+
+        self._sim.call_in(self._rng.uniform(0, self.check_interval_s), check)
+
+
+def convergecast(nodes: List[MeshNode], sink: int) -> List[Tuple[MeshNode, int]]:
+    """(node, destination) pairs for all-to-sink traffic (sensor field)."""
+    return [(node, sink) for node in nodes if node.address != sink]
+
+
+def random_pairs(
+    nodes: List[MeshNode], count: int, rng: random.Random
+) -> List[Tuple[MeshNode, int]]:
+    """``count`` random (source node, destination address) pairs, src != dst."""
+    if len(nodes) < 2:
+        raise ConfigurationError("need at least two nodes for random pairs")
+    pairs = []
+    addresses = [node.address for node in nodes]
+    for _ in range(count):
+        src = rng.choice(nodes)
+        dst = rng.choice([address for address in addresses if address != src.address])
+        pairs.append((src, dst))
+    return pairs

@@ -1,0 +1,125 @@
+"""Integration: failure injection and detection through the dashboard.
+
+The point of the paper's tool is that an administrator can *see* problems.
+These tests kill nodes mid-run and assert the monitoring side notices.
+"""
+
+import pytest
+
+from repro.analysis.anomaly import detect_anomalies
+from repro.monitor.alerts import AlertEngine, SilentNodeRule, default_rules
+from repro.monitor import health
+from repro.scenario.config import ScenarioConfig, WorkloadSpec
+from repro.scenario.runner import Scenario
+
+CONFIG = ScenarioConfig(
+    seed=31,
+    n_nodes=9,
+    spreading_factor=9,
+    warmup_s=900.0,
+    duration_s=1.0,  # traffic is driven manually below
+    cooldown_s=1.0,
+    report_interval_s=60.0,
+    workload=WorkloadSpec(kind="none"),
+)
+
+
+@pytest.fixture()
+def scenario():
+    scenario = Scenario(CONFIG)
+    scenario.sim.run(until=CONFIG.warmup_s)
+    return scenario
+
+
+class TestSilentNodeDetection:
+    def test_failed_node_raises_silent_alert(self, scenario):
+        sim = scenario.sim
+        engine = AlertEngine(
+            scenario.store, rules=[SilentNodeRule(max_silence_s=3 * 60.0 + 10)]
+        )
+        assert engine.evaluate(sim.now) == []
+        scenario.nodes[5].fail()
+        scenario.clients[5].stop()
+        sim.run(until=sim.now + 600.0)
+        raised = engine.evaluate(sim.now)
+        assert any(alert.node == 5 and alert.rule == "silent_node" for alert in raised)
+
+    def test_healthy_nodes_not_flagged(self, scenario):
+        sim = scenario.sim
+        engine = AlertEngine(
+            scenario.store, rules=[SilentNodeRule(max_silence_s=3 * 60.0 + 10)]
+        )
+        scenario.nodes[5].fail()
+        scenario.clients[5].stop()
+        sim.run(until=sim.now + 600.0)
+        raised = engine.evaluate(sim.now)
+        flagged = {alert.node for alert in raised}
+        assert flagged == {5}
+
+    def test_health_score_of_dead_node_collapses(self, scenario):
+        sim = scenario.sim
+        scenario.nodes[5].fail()
+        scenario.clients[5].stop()
+        sim.run(until=sim.now + 900.0)
+        scores = health.network_health(scenario.store, sim.now, report_interval_s=60.0)
+        assert scores[5].score < 50
+        alive = [score.score for node, score in scores.items() if node != 5]
+        assert min(alive) > scores[5].score
+
+    def test_alert_clears_after_recovery(self, scenario):
+        sim = scenario.sim
+        engine = AlertEngine(
+            scenario.store, rules=[SilentNodeRule(max_silence_s=3 * 60.0 + 10)]
+        )
+        scenario.nodes[5].fail()
+        scenario.clients[5].stop()
+        sim.run(until=sim.now + 600.0)
+        engine.evaluate(sim.now)
+        assert engine.active()
+
+        scenario.nodes[5].recover()
+        # Restart the monitoring client for the recovered node.
+        from repro.monitor.client import MonitorClient, MonitorClientConfig
+        scenario.clients[5] = MonitorClient(
+            sim, scenario.nodes[5], scenario.uplinks[5],
+            MonitorClientConfig(report_interval_s=60.0),
+        )
+        sim.run(until=sim.now + 300.0)
+        engine.evaluate(sim.now)
+        assert not any(alert.node == 5 for alert in engine.active())
+
+
+class TestAnomalyOnTelemetry:
+    def test_queue_growth_anomaly_detected(self, scenario):
+        # Fabricate a congestion event by stuffing the MAC queue of node 2.
+        sim = scenario.sim
+        sim.run(until=sim.now + 600.0)  # collect a calm baseline
+        node = scenario.nodes[2]
+
+        from repro.mesh.packet import Packet, PacketType
+        from repro.mesh.addressing import BROADCAST
+
+        def stuff_queue():
+            for index in range(20):
+                node.mac.send(Packet(
+                    dst=BROADCAST, src=2, ptype=PacketType.DATA, packet_id=60000 + index,
+                    payload=b"x" * 200, next_hop=BROADCAST, prev_hop=2, ttl=1,
+                ))
+
+        sim.call_in(1.0, stuff_queue)
+        sim.run(until=sim.now + 130.0)
+        series = scenario.store.status_series(2, ["queue_depth"])
+        anomalies = detect_anomalies(series, "queue_depth", window=5, threshold=3.0)
+        assert anomalies
+
+
+class TestReroutingVisibleInTelemetry:
+    def test_route_counts_drop_after_failure(self, scenario):
+        sim = scenario.sim
+        scenario.nodes[5].fail()
+        scenario.clients[5].stop()
+        sim.run(until=sim.now + 900.0)
+        # Other nodes' latest status shows fewer routes than the full mesh.
+        latest = scenario.store.latest_status(1)
+        assert latest is not None
+        assert latest.route_count < 8

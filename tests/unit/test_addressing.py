@@ -1,0 +1,30 @@
+"""Unit tests for node addressing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.addressing import BROADCAST, NULL_ADDRESS, is_valid_address, validate_address
+
+
+class TestAddressing:
+    def test_normal_addresses_valid(self):
+        assert is_valid_address(1)
+        assert is_valid_address(0xFFFE)
+
+    def test_reserved_addresses_invalid(self):
+        assert not is_valid_address(NULL_ADDRESS)
+        assert not is_valid_address(BROADCAST)
+
+    def test_out_of_range_invalid(self):
+        assert not is_valid_address(-1)
+        assert not is_valid_address(0x10000)
+
+    def test_non_int_invalid(self):
+        assert not is_valid_address("1")
+
+    def test_validate_returns_value(self):
+        assert validate_address(42) == 42
+
+    def test_validate_raises(self):
+        with pytest.raises(ConfigurationError):
+            validate_address(BROADCAST)

@@ -1,0 +1,122 @@
+"""Unit tests for the alerting engine."""
+
+import pytest
+
+from repro.monitor.alerts import (
+    AlertEngine,
+    BatteryLowRule,
+    DutyCycleRule,
+    LowPdrRule,
+    QueueBacklogRule,
+    SilentNodeRule,
+    default_rules,
+)
+from repro.monitor.records import Direction, PacketRecord, StatusRecord
+from repro.monitor.storage import MetricsStore
+
+
+def status(node=1, seq=0, ts=0.0, battery=3.7, duty=0.01, queue=0):
+    return StatusRecord(
+        node=node, seq=seq, timestamp=ts, uptime_s=ts, queue_depth=queue,
+        route_count=1, neighbor_count=1, battery_v=battery, tx_frames=1,
+        tx_airtime_s=0.1, retransmissions=0, drops=0, duty_utilisation=duty,
+        originated=0, delivered=0, forwarded=0,
+    )
+
+
+@pytest.fixture
+def store():
+    return MetricsStore()
+
+
+class TestSilentNode:
+    def test_fires_after_silence(self, store):
+        store.note_batch(1, received_at=0.0, dropped_records=0)
+        rule = SilentNodeRule(max_silence_s=100.0)
+        assert rule.conditions(store, now=50.0) == []
+        firing = rule.conditions(store, now=150.0)
+        assert len(firing) == 1 and firing[0][0] == 1
+
+    def test_never_seen_node_not_flagged(self, store):
+        store.add_status_record(status(node=1))
+        rule = SilentNodeRule(max_silence_s=100.0)
+        assert rule.conditions(store, now=1000.0) == []
+
+
+class TestThresholdRules:
+    def test_battery_low(self, store):
+        store.add_status_record(status(node=1, battery=3.2))
+        store.add_status_record(status(node=2, battery=3.9))
+        firing = BatteryLowRule(threshold_v=3.4).conditions(store, now=0.0)
+        assert [node for node, _ in firing] == [1]
+
+    def test_duty_cycle(self, store):
+        store.add_status_record(status(node=1, duty=0.95))
+        firing = DutyCycleRule(threshold=0.8).conditions(store, now=0.0)
+        assert len(firing) == 1
+
+    def test_queue_backlog(self, store):
+        store.add_status_record(status(node=1, queue=15))
+        firing = QueueBacklogRule(threshold=10).conditions(store, now=0.0)
+        assert len(firing) == 1
+
+    def test_low_pdr_needs_minimum_traffic(self, store):
+        # 2 sent, 0 delivered but min_sent=5: no alert.
+        for pid in range(2):
+            store.add_packet_record(PacketRecord(
+                node=1, seq=pid, timestamp=0.0, direction=Direction.OUT,
+                src=1, dst=9, next_hop=5, prev_hop=1, ptype=3, packet_id=pid,
+                size_bytes=40, airtime_s=0.05,
+            ))
+        rule = LowPdrRule(threshold=0.8, min_sent=5)
+        assert rule.conditions(store, now=0.0) == []
+        # 6 sent, 0 delivered: alert.
+        for pid in range(2, 6):
+            store.add_packet_record(PacketRecord(
+                node=1, seq=pid, timestamp=0.0, direction=Direction.OUT,
+                src=1, dst=9, next_hop=5, prev_hop=1, ptype=3, packet_id=pid,
+                size_bytes=40, airtime_s=0.05,
+            ))
+        firing = rule.conditions(store, now=0.0)
+        assert len(firing) == 1 and firing[0][0] == 1
+
+
+class TestEngineState:
+    def test_alert_raised_once_while_persisting(self, store):
+        store.add_status_record(status(node=1, battery=3.0))
+        engine = AlertEngine(store, rules=[BatteryLowRule()])
+        assert len(engine.evaluate(now=0.0)) == 1
+        assert engine.evaluate(now=10.0) == []  # still firing, not re-raised
+        assert len(engine.active()) == 1
+
+    def test_alert_clears_when_condition_gone(self, store):
+        store.add_status_record(status(node=1, seq=0, battery=3.0))
+        engine = AlertEngine(store, rules=[BatteryLowRule()])
+        engine.evaluate(now=0.0)
+        store.add_status_record(status(node=1, seq=1, ts=5.0, battery=4.0))
+        engine.evaluate(now=10.0)
+        assert engine.active() == []
+        assert len(engine.history) == 1  # history keeps the raised alert
+
+    def test_realert_after_clear(self, store):
+        store.add_status_record(status(node=1, seq=0, battery=3.0))
+        engine = AlertEngine(store, rules=[BatteryLowRule()])
+        engine.evaluate(now=0.0)
+        store.add_status_record(status(node=1, seq=1, ts=5.0, battery=4.0))
+        engine.evaluate(now=10.0)
+        store.add_status_record(status(node=1, seq=2, ts=15.0, battery=3.0))
+        raised = engine.evaluate(now=20.0)
+        assert len(raised) == 1
+        assert len(engine.history) == 2
+
+    def test_default_rules_cover_core_conditions(self):
+        names = {rule.name for rule in default_rules()}
+        assert {"silent_node", "low_pdr", "duty_cycle", "battery_low", "queue_backlog"} <= names
+
+    def test_alerts_sorted_by_raise_time(self, store):
+        store.add_status_record(status(node=1, battery=3.0))
+        engine = AlertEngine(store, rules=[BatteryLowRule(), DutyCycleRule(threshold=0.0)])
+        engine.evaluate(now=5.0)
+        active = engine.active()
+        assert all(a.raised_at == 5.0 for a in active)
+        assert len(active) == 2

@@ -1,0 +1,82 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.nodes == 16 and args.sf == 7 and args.monitor == "oob"
+
+    def test_airtime_args(self):
+        args = build_parser().parse_args(["airtime", "--sf", "12", "--payload", "51"])
+        assert args.sf == 12 and args.payload == 51
+
+
+class TestCommands:
+    def test_airtime_prints_known_value(self, capsys):
+        assert main(["airtime", "--sf", "7", "--payload", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "56.58 ms" in out
+
+    def test_simulate_small_run(self, capsys):
+        code = main([
+            "simulate", "--nodes", "4", "--sf", "9",
+            "--warmup", "120", "--duration", "300",
+            "--traffic-interval", "60", "--report-interval", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[nodes]" in out and "[links]" in out
+
+    def test_simulate_monitor_none(self, capsys):
+        code = main([
+            "simulate", "--nodes", "4", "--sf", "9", "--monitor", "none",
+            "--warmup", "60", "--duration", "120",
+        ])
+        assert code == 0
+        assert "[nodes]" not in capsys.readouterr().out
+
+    def test_dot_output(self, capsys):
+        code = main([
+            "dot", "--nodes", "4", "--sf", "9",
+            "--warmup", "120", "--duration", "180",
+        ])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_analyze_output(self, capsys):
+        code = main([
+            "analyze", "--nodes", "4", "--sf", "9",
+            "--warmup", "120", "--duration", "300",
+            "--traffic-interval", "60",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pathology report" in out
+        assert "hidden-terminal pairs" in out
+
+    def test_export_writes_files(self, capsys, tmp_path):
+        out_dir = tmp_path / "dump"
+        code = main([
+            "export", "--nodes", "4", "--sf", "9",
+            "--warmup", "120", "--duration", "300",
+            "--out", str(out_dir),
+        ])
+        assert code == 0
+        assert (out_dir / "telemetry.jsonl").exists()
+        assert (out_dir / "packets.csv").exists()
+        assert (out_dir / "status.csv").exists()
+
+    def test_analyze_requires_monitoring(self, capsys):
+        code = main([
+            "analyze", "--nodes", "4", "--monitor", "none",
+            "--warmup", "60", "--duration", "60",
+        ])
+        assert code == 2

@@ -1,0 +1,118 @@
+"""Unit tests for the collision/capture model."""
+
+import pytest
+
+from repro.phy.collision import CollisionModel, FrameOnAir
+from repro.phy.params import LoRaParams
+
+
+def frame(sf=7, freq=868_100_000, rssi=-100.0, start=0.0, duration=0.1, preamble=8):
+    params = LoRaParams(spreading_factor=sf, frequency_hz=freq, preamble_symbols=preamble)
+    return FrameOnAir(params=params, rssi_dbm=rssi, start=start, end=start + duration)
+
+
+@pytest.fixture
+def model():
+    return CollisionModel()
+
+
+class TestFrequencyRule:
+    def test_far_frequencies_do_not_interact(self, model):
+        a = frame(freq=868_100_000)
+        b = frame(freq=868_300_000)
+        assert not model.frequency_overlap(a.params, b.params)
+        assert model.survives(a, [b])
+
+    def test_same_frequency_interacts(self, model):
+        a = frame()
+        b = frame()
+        assert model.frequency_overlap(a.params, b.params)
+
+    def test_within_guard_band_interacts(self, model):
+        a = frame(freq=868_100_000)
+        b = frame(freq=868_120_000)  # 20 kHz apart < 30 kHz guard at BW125
+        assert model.frequency_overlap(a.params, b.params)
+
+
+class TestTimingRule:
+    def test_non_overlapping_frames_both_survive(self, model):
+        a = frame(start=0.0, duration=0.1)
+        b = frame(start=0.2, duration=0.1)
+        assert model.survives(a, [b])
+        assert model.survives(b, [a])
+
+    def test_interference_in_early_preamble_is_harmless(self, model):
+        # Frame a: preamble 8 symbols at SF7 = 8*1.024ms; critical section
+        # starts after 3 symbols (~3.1 ms).  Interferer ends at 1 ms.
+        a = frame(start=0.0, duration=0.1, rssi=-100)
+        b = frame(start=-0.05, duration=0.051, rssi=-80)
+        assert model.survives(a, [b])
+
+    def test_interference_overlapping_payload_kills_weak_frame(self, model):
+        a = frame(start=0.0, duration=0.1, rssi=-100)
+        b = frame(start=0.05, duration=0.1, rssi=-80)
+        assert not model.survives(a, [b])
+
+
+class TestCaptureRule:
+    def test_stronger_frame_captures(self, model):
+        strong = frame(rssi=-80.0)
+        weak = frame(rssi=-90.0)
+        assert model.survives(strong, [weak])
+        assert not model.survives(weak, [strong])
+
+    def test_below_capture_threshold_both_lost(self, model):
+        a = frame(rssi=-85.0)
+        b = frame(rssi=-88.0)  # only 3 dB apart < 6 dB threshold
+        assert not model.survives(a, [b])
+        assert not model.survives(b, [a])
+
+    def test_capture_against_sum_of_interferers(self, model):
+        # 7 dB above each of two equal interferers is ~4 dB above their sum:
+        # not enough for the 6 dB threshold.
+        target = frame(rssi=-80.0)
+        interferers = [frame(rssi=-87.0), frame(rssi=-87.0)]
+        assert not model.survives(target, interferers)
+        # 10 dB above each (=7 dB above the sum) survives.
+        target2 = frame(rssi=-77.0)
+        assert model.survives(target2, interferers)
+
+    def test_exactly_at_threshold_survives(self):
+        model = CollisionModel(capture_threshold_db=6.0)
+        a = frame(rssi=-80.0)
+        b = frame(rssi=-86.0)
+        assert model.survives(a, [b])
+
+
+class TestSpreadingFactorRule:
+    def test_different_sf_are_orthogonal(self, model):
+        a = frame(sf=7, rssi=-100.0)
+        b = frame(sf=9, rssi=-95.0)
+        assert model.survives(a, [b])
+        assert model.survives(b, [a])
+
+    def test_much_stronger_cross_sf_interferer_wins(self, model):
+        a = frame(sf=7, rssi=-110.0, start=0.0, duration=0.1)
+        b = frame(sf=9, rssi=-80.0, start=0.05, duration=0.2)  # 30 dB > 16 dB rejection
+        assert not model.survives(a, [b])
+
+    def test_cross_sf_interferer_in_early_preamble_is_harmless(self, model):
+        a = frame(sf=7, rssi=-110.0, start=0.0, duration=0.1)
+        b = frame(sf=9, rssi=-80.0, start=-0.2, duration=0.201)
+        assert model.survives(a, [b])
+
+
+class TestEdgeCases:
+    def test_no_interferers(self, model):
+        assert model.survives(frame(), [])
+
+    def test_self_is_ignored(self, model):
+        a = frame()
+        assert model.survives(a, [a])
+
+    def test_overlaps_predicate(self):
+        a = frame(start=0.0, duration=1.0)
+        b = frame(start=1.0, duration=1.0)
+        assert not a.overlaps(b)  # touching endpoints do not overlap
+        c = frame(start=0.5, duration=1.0)
+        assert a.overlaps(c)

@@ -1,0 +1,89 @@
+"""Unit tests for managed flooding policy and dedup cache."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh.flooding import DedupCache, FloodingPolicy
+
+
+@pytest.fixture
+def policy():
+    return FloodingPolicy(rng=random.Random(1))
+
+
+class TestDedupCache:
+    def test_first_sight_is_new(self):
+        cache = DedupCache()
+        assert not cache.seen_before((1, 10), now=0.0)
+
+    def test_second_sight_is_duplicate(self):
+        cache = DedupCache()
+        cache.seen_before((1, 10), now=0.0)
+        assert cache.seen_before((1, 10), now=1.0)
+
+    def test_different_keys_independent(self):
+        cache = DedupCache()
+        cache.seen_before((1, 10), now=0.0)
+        assert not cache.seen_before((1, 11), now=0.0)
+        assert not cache.seen_before((2, 10), now=0.0)
+
+    def test_lru_eviction(self):
+        cache = DedupCache(capacity=2)
+        cache.seen_before((1, 1), now=0.0)
+        cache.seen_before((1, 2), now=1.0)
+        cache.seen_before((1, 3), now=2.0)  # evicts (1,1)
+        assert not cache.seen_before((1, 1), now=3.0)
+
+    def test_touch_refreshes_lru_order(self):
+        cache = DedupCache(capacity=2)
+        cache.seen_before((1, 1), now=0.0)
+        cache.seen_before((1, 2), now=1.0)
+        cache.seen_before((1, 1), now=2.0)  # touch
+        cache.seen_before((1, 3), now=3.0)  # evicts (1,2), not (1,1)
+        assert (1, 1) in cache
+        assert (1, 2) not in cache
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DedupCache(capacity=0)
+
+
+class TestRelayDecision:
+    def test_first_copy_with_ttl_relays(self, policy):
+        assert policy.should_relay((1, 10), ttl=3, now=0.0)
+
+    def test_duplicate_does_not_relay(self, policy):
+        policy.should_relay((1, 10), ttl=3, now=0.0)
+        assert not policy.should_relay((1, 10), ttl=3, now=1.0)
+
+    def test_exhausted_ttl_does_not_relay(self, policy):
+        assert not policy.should_relay((1, 10), ttl=0, now=0.0)
+
+    def test_suppression(self, policy):
+        policy.suppress((1, 10))
+        assert policy.is_suppressed((1, 10))
+        assert not policy.is_suppressed((1, 11))
+
+
+class TestRebroadcastDelay:
+    def test_strong_reception_waits_longer(self, policy):
+        # Average over jitter by sampling.
+        strong = sum(policy.rebroadcast_delay(snr_db=10.0) for _ in range(200)) / 200
+        weak = sum(policy.rebroadcast_delay(snr_db=-15.0) for _ in range(200)) / 200
+        assert strong > weak
+
+    def test_delay_has_floor(self, policy):
+        for _ in range(50):
+            assert policy.rebroadcast_delay(snr_db=-30.0) >= policy._base_delay_s
+
+    def test_delay_is_bounded(self, policy):
+        for snr in (-30.0, 0.0, 30.0):
+            for _ in range(50):
+                delay = policy.rebroadcast_delay(snr)
+                assert delay <= policy._base_delay_s * 2 + policy._max_extra_s + 1e-9
+
+    def test_negative_delays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FloodingPolicy(rng=random.Random(1), base_delay_s=-1.0)

@@ -1,0 +1,93 @@
+"""Unit tests for the LoRaWAN star baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.lorawan import LoRaWANGateway, LoRaWANNetwork, LoRaWANNode
+from repro.errors import ConfigurationError
+from repro.phy.channel import Channel
+from repro.phy.link import LinkModel, PathLossParams
+from repro.phy.params import LoRaParams
+from repro.sim.engine import Simulator
+from repro.sim.topology import Topology
+
+
+def build_star(positions, interval_s=60.0, sf=9):
+    sim = Simulator()
+    topology = Topology(positions=positions)
+    link_model = LinkModel(PathLossParams(shadowing_sigma_db=0.0), random.Random(1))
+    channel = Channel(sim, topology, link_model)
+    gateway = LoRaWANGateway(sim, channel, address=1)
+    network = LoRaWANNetwork(gateway=gateway)
+    params = LoRaParams(spreading_factor=sf)
+    for address in topology.nodes():
+        if address == 1:
+            continue
+        network.nodes.append(LoRaWANNode(
+            sim, channel, address, gateway, interval_s=interval_s,
+            params=params, rng=random.Random(address),
+        ))
+    return sim, network
+
+
+class TestStarNetwork:
+    def test_in_range_node_delivers(self):
+        sim, network = build_star({1: (0, 0), 2: (100, 0)})
+        network.start()
+        sim.run(until=600.0)
+        stats = network.gateway.stats[2]
+        assert stats.sent >= 9
+        assert stats.received == stats.sent
+
+    def test_out_of_range_node_never_delivers(self):
+        sim, network = build_star({1: (0, 0), 2: (100, 0), 3: (5000, 0)})
+        network.start()
+        sim.run(until=600.0)
+        assert network.gateway.stats[3].received == 0
+        assert network.gateway.stats[3].sent > 0
+
+    def test_overall_pdr_between_extremes(self):
+        sim, network = build_star({1: (0, 0), 2: (100, 0), 3: (5000, 0)})
+        network.start()
+        sim.run(until=600.0)
+        assert 0.0 < network.overall_pdr() < 1.0
+
+    def test_aloha_collisions_lose_frames(self):
+        # Many nodes, aggressive interval: collisions must appear.
+        positions = {1: (0, 0)}
+        positions.update({a: (50 + a, 0) for a in range(2, 22)})
+        sim, network = build_star(positions, interval_s=5.0)
+        network.start()
+        sim.run(until=600.0)
+        assert network.overall_pdr() < 1.0
+
+    def test_duty_cycle_skips_when_exhausted(self):
+        sim, network = build_star({1: (0, 0), 2: (100, 0)}, interval_s=0.5)
+        network.start()
+        sim.run(until=600.0)
+        node = network.nodes[0]
+        assert node.duty_skips > 0
+
+    def test_pdr_by_node_keys(self):
+        sim, network = build_star({1: (0, 0), 2: (100, 0), 3: (150, 0)})
+        network.start()
+        sim.run(until=300.0)
+        assert set(network.pdr_by_node()) == {2, 3}
+
+    def test_invalid_interval_rejected(self):
+        sim, network = build_star({1: (0, 0), 2: (100, 0)})
+        with pytest.raises(ConfigurationError):
+            LoRaWANNode(
+                sim, None, 5, network.gateway, interval_s=0.0,
+            )
+
+    def test_stop_halts_uplinks(self):
+        sim, network = build_star({1: (0, 0), 2: (100, 0)})
+        network.start()
+        sim.run(until=100.0)
+        sent = network.gateway.stats[2].sent
+        for node in network.nodes:
+            node.stop()
+        sim.run(until=500.0)
+        assert network.gateway.stats[2].sent == sent

@@ -1,0 +1,159 @@
+"""Unit tests for node mobility models."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.mobility import ConstantVelocityMobility, RandomWaypointMobility
+from repro.sim.topology import Topology
+from repro.sim.trace import TraceLog
+
+
+def make_topology():
+    return Topology(positions={1: (100.0, 100.0), 2: (200.0, 200.0), 3: (300.0, 300.0)})
+
+
+class TestRandomWaypoint:
+    def make(self, sim, topology, nodes=(2, 3), **overrides):
+        defaults = dict(
+            area_m=500.0,
+            speed_range_mps=(1.0, 2.0),
+            pause_range_s=(0.0, 0.0),
+            update_interval_s=1.0,
+        )
+        defaults.update(overrides)
+        return RandomWaypointMobility(
+            sim=sim, topology=topology, nodes=list(nodes),
+            rng=random.Random(1), **defaults,
+        )
+
+    def test_mobile_nodes_move(self, sim):
+        topology = make_topology()
+        mobility = self.make(sim, topology)
+        start = dict(topology.positions)
+        mobility.start()
+        sim.run(until=120.0)
+        assert topology.positions[2] != start[2]
+        assert topology.positions[3] != start[3]
+
+    def test_static_nodes_stay(self, sim):
+        topology = make_topology()
+        mobility = self.make(sim, topology, nodes=(2,))
+        mobility.start()
+        sim.run(until=120.0)
+        assert topology.positions[1] == (100.0, 100.0)
+
+    def test_speed_is_respected(self, sim):
+        topology = make_topology()
+        mobility = self.make(sim, topology, nodes=(2,), speed_range_mps=(2.0, 2.0))
+        mobility.start()
+        sim.run(until=100.0)
+        # With no pauses, total distance is close to speed * time (straight
+        # segments; waypoint turns do not shorten the travelled distance).
+        travelled = mobility.total_distance_m[2]
+        assert travelled == pytest.approx(200.0, rel=0.05)
+
+    def test_positions_stay_in_area(self, sim):
+        topology = make_topology()
+        mobility = self.make(sim, topology, area_m=400.0)
+        mobility.start()
+        sim.run(until=600.0)
+        for node in (2, 3):
+            x, y = topology.positions[node]
+            assert -1 <= x <= 401 and -1 <= y <= 401
+
+    def test_pause_halts_movement(self, sim):
+        topology = make_topology()
+        mobility = self.make(
+            sim, topology, nodes=(2,),
+            speed_range_mps=(1000.0, 1000.0),  # reach the waypoint instantly
+            pause_range_s=(1e6, 1e6),
+        )
+        mobility.start()
+        sim.run(until=2.0)  # arrives at first waypoint, starts pausing
+        position = topology.positions[2]
+        sim.run(until=500.0)
+        assert topology.positions[2] == position
+
+    def test_stop_freezes(self, sim):
+        topology = make_topology()
+        mobility = self.make(sim, topology, nodes=(2,))
+        mobility.start()
+        sim.run(until=50.0)
+        mobility.stop()
+        position = topology.positions[2]
+        sim.run(until=200.0)
+        assert topology.positions[2] == position
+
+    def test_trace_events_emitted(self, sim):
+        topology = make_topology()
+        trace = TraceLog()
+        mobility = RandomWaypointMobility(
+            sim=sim, topology=topology, nodes=[2], rng=random.Random(1),
+            area_m=500.0, update_interval_s=1.0, trace=trace,
+        )
+        mobility.start()
+        sim.run(until=30.0)
+        assert trace.count("mobility.move") > 0
+
+    def test_unknown_node_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            self.make(sim, make_topology(), nodes=(99,))
+
+    def test_bad_speed_rejected(self, sim):
+        with pytest.raises(ConfigurationError):
+            self.make(sim, make_topology(), speed_range_mps=(0.0, 1.0))
+
+
+class TestConstantVelocity:
+    def test_straight_line_distance(self, sim):
+        topology = make_topology()
+        mobility = ConstantVelocityMobility(
+            sim=sim, topology=topology, nodes=[2], rng=random.Random(3),
+            area_m=100_000.0, speed_mps=10.0, update_interval_s=1.0,
+        )
+        mobility.start()
+        sim.run(until=100.0)
+        x0, y0 = (200.0, 200.0)
+        x1, y1 = topology.positions[2]
+        assert math.hypot(x1 - x0, y1 - y0) == pytest.approx(1000.0, rel=0.01)
+
+    def test_bounces_stay_inside(self, sim):
+        topology = Topology(positions={1: (50.0, 50.0)})
+        mobility = ConstantVelocityMobility(
+            sim=sim, topology=topology, nodes=[1], rng=random.Random(5),
+            area_m=100.0, speed_mps=20.0, update_interval_s=0.5,
+        )
+        mobility.start()
+        sim.run(until=300.0)
+        x, y = topology.positions[1]
+        assert 0 <= x <= 100 and 0 <= y <= 100
+
+
+class TestScenarioIntegration:
+    def test_mobile_scenario_runs_and_links_churn(self):
+        from repro.scenario.config import MobilitySpec, ScenarioConfig, WorkloadSpec
+        from repro.scenario.runner import run_scenario
+
+        config = ScenarioConfig(
+            seed=23,
+            n_nodes=9,
+            spreading_factor=7,
+            warmup_s=600.0,
+            duration_s=900.0,
+            report_interval_s=60.0,
+            workload=WorkloadSpec(kind="periodic", interval_s=120.0),
+            mobility=MobilitySpec(fraction_mobile=0.5, speed_mps=3.0),
+        )
+        result = run_scenario(config)
+        assert result.mobility is not None
+        moved = sum(result.mobility.total_distance_m.values())
+        assert moved > 100.0
+        # The gateway never moves.
+        assert config.gateway not in result.mobility.mobile_nodes
+        # Traffic still flows (mobile SF7 mesh loses some but not all).
+        assert result.truth.msg_pdr > 0.3
+        assert result.trace.count("mobility.move") > 0

@@ -1,0 +1,63 @@
+"""Unit tests for the neighbor table."""
+
+import pytest
+
+from repro.mesh.neighbors import NeighborTable
+
+
+@pytest.fixture
+def table():
+    return NeighborTable(timeout_s=100.0, ewma_alpha=0.5)
+
+
+class TestObservation:
+    def test_first_observation_creates_entry(self, table):
+        neighbor = table.observe(2, rssi_dbm=-100.0, snr_db=5.0, now=10.0)
+        assert neighbor.address == 2
+        assert neighbor.rssi_ewma_dbm == -100.0
+        assert neighbor.first_seen == 10.0
+        assert 2 in table
+
+    def test_ewma_moves_toward_new_samples(self, table):
+        table.observe(2, -100.0, 5.0, now=0.0)
+        neighbor = table.observe(2, -90.0, 7.0, now=1.0)
+        assert neighbor.rssi_ewma_dbm == pytest.approx(-95.0)
+        assert neighbor.snr_ewma_db == pytest.approx(6.0)
+
+    def test_frames_heard_counts(self, table):
+        for t in range(5):
+            table.observe(2, -100.0, 5.0, now=float(t))
+        assert table.get(2).frames_heard == 5
+
+    def test_last_seen_updates(self, table):
+        table.observe(2, -100.0, 5.0, now=0.0)
+        table.observe(2, -100.0, 5.0, now=50.0)
+        assert table.get(2).last_seen == 50.0
+
+    def test_addresses_sorted(self, table):
+        table.observe(9, -100, 0, now=0)
+        table.observe(2, -100, 0, now=0)
+        assert table.addresses() == [2, 9]
+
+
+class TestExpiry:
+    def test_stale_neighbor_expires(self, table):
+        table.observe(2, -100.0, 5.0, now=0.0)
+        removed = table.expire(now=101.0)
+        assert removed == [2]
+        assert 2 not in table
+
+    def test_fresh_neighbor_survives(self, table):
+        table.observe(2, -100.0, 5.0, now=0.0)
+        assert table.expire(now=99.0) == []
+        assert 2 in table
+
+    def test_refresh_resets_timeout(self, table):
+        table.observe(2, -100.0, 5.0, now=0.0)
+        table.observe(2, -100.0, 5.0, now=90.0)
+        assert table.expire(now=150.0) == []
+
+    def test_len(self, table):
+        table.observe(2, -100, 0, now=0)
+        table.observe(3, -100, 0, now=0)
+        assert len(table) == 2

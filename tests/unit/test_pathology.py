@@ -1,0 +1,181 @@
+"""Unit tests for pathology detection and radio planning."""
+
+import pytest
+
+from repro.analysis.pathology import (
+    asymmetric_links,
+    congested_relays,
+    hidden_terminal_pairs,
+    starving_sources,
+)
+from repro.analysis.planning import (
+    best_gateway_candidates,
+    recommend_sf,
+    sf_recommendations,
+)
+from repro.monitor.records import Direction, PacketRecord
+from repro.monitor.storage import MetricsStore
+from repro.phy.link import SNR_FLOOR_DB
+
+
+def out_record(node, seq, packet_id, src=None, dst=1, attempt=1, airtime=0.05):
+    return PacketRecord(
+        node=node, seq=seq, timestamp=float(seq), direction=Direction.OUT,
+        src=src if src is not None else node, dst=dst, next_hop=dst, prev_hop=node,
+        ptype=3, packet_id=packet_id, size_bytes=40, airtime_s=airtime, attempt=attempt,
+    )
+
+
+def in_record(node, seq, prev_hop, packet_id=0, src=None, dst=None, rssi=-105.0, snr=4.0):
+    return PacketRecord(
+        node=node, seq=seq, timestamp=float(seq), direction=Direction.IN,
+        src=src if src is not None else prev_hop,
+        dst=dst if dst is not None else node,
+        next_hop=node, prev_hop=prev_hop, ptype=3, packet_id=packet_id,
+        size_bytes=40, rssi_dbm=rssi, snr_db=snr,
+    )
+
+
+class TestCongestedRelays:
+    def test_hot_retransmitter_flagged(self):
+        store = MetricsStore()
+        # Node 5: 10 first attempts + 8 retries, most of the airtime.
+        seq = 0
+        for pid in range(10):
+            store.add_packet_record(out_record(5, seq, pid, airtime=0.2)); seq += 1
+        for pid in range(8):
+            store.add_packet_record(out_record(5, seq, pid, attempt=2, airtime=0.2)); seq += 1
+        # Node 2: clean, little airtime.
+        store.add_packet_record(out_record(2, 0, 100, airtime=0.05))
+        flagged = congested_relays(store)
+        assert [relay.node for relay in flagged] == [5]
+        assert flagged[0].retransmission_rate == pytest.approx(8 / 18)
+
+    def test_clean_network_flags_nothing(self):
+        store = MetricsStore()
+        for pid in range(10):
+            store.add_packet_record(out_record(2, pid, pid))
+        assert congested_relays(store) == []
+
+
+class TestHiddenTerminals:
+    def test_pair_without_mutual_link_flagged(self):
+        store = MetricsStore()
+        # Receiver 5 hears 1 and 9; 1 and 9 never hear each other.
+        for seq in range(12):
+            store.add_packet_record(in_record(5, seq * 2, prev_hop=1, packet_id=seq))
+            store.add_packet_record(in_record(5, seq * 2 + 1, prev_hop=9, packet_id=seq))
+        pairs = hidden_terminal_pairs(store, min_frames=10)
+        assert len(pairs) == 1
+        assert (pairs[0].tx_a, pairs[0].tx_b) == (1, 9)
+        assert pairs[0].shared_receiver == 5
+
+    def test_pair_with_link_not_flagged(self):
+        store = MetricsStore()
+        for seq in range(12):
+            store.add_packet_record(in_record(5, seq * 2, prev_hop=1, packet_id=seq))
+            store.add_packet_record(in_record(5, seq * 2 + 1, prev_hop=9, packet_id=seq))
+        # 9 hears 1 directly -> not hidden.
+        store.add_packet_record(in_record(9, 0, prev_hop=1))
+        assert hidden_terminal_pairs(store, min_frames=10) == []
+
+    def test_weak_evidence_ignored(self):
+        store = MetricsStore()
+        store.add_packet_record(in_record(5, 0, prev_hop=1))
+        store.add_packet_record(in_record(5, 1, prev_hop=9))
+        assert hidden_terminal_pairs(store, min_frames=10) == []
+
+
+class TestAsymmetricLinks:
+    def test_one_way_link_flagged(self):
+        store = MetricsStore()
+        for seq in range(6):
+            store.add_packet_record(in_record(2, seq, prev_hop=1))
+        flagged = asymmetric_links(store)
+        assert len(flagged) == 1
+        assert flagged[0].rssi_b_to_a is None
+
+    def test_symmetric_link_not_flagged(self):
+        store = MetricsStore()
+        for seq in range(6):
+            store.add_packet_record(in_record(2, seq, prev_hop=1, rssi=-100.0))
+            store.add_packet_record(in_record(1, seq, prev_hop=2, rssi=-101.0))
+        assert asymmetric_links(store) == []
+
+    def test_large_rssi_delta_flagged(self):
+        store = MetricsStore()
+        for seq in range(6):
+            store.add_packet_record(in_record(2, seq, prev_hop=1, rssi=-95.0))
+            store.add_packet_record(in_record(1, seq, prev_hop=2, rssi=-110.0))
+        flagged = asymmetric_links(store, delta_threshold_db=6.0)
+        assert len(flagged) == 1
+        assert flagged[0].delta_db == pytest.approx(15.0)
+
+
+class TestStarvingSources:
+    def test_source_far_below_median_flagged(self):
+        store = MetricsStore()
+        # Sources 2,3,4 deliver 100%; source 9 delivers 0%.
+        seq_by_node = {}
+        for src in (2, 3, 4, 9):
+            for pid in range(6):
+                seq = seq_by_node.get(src, 0)
+                store.add_packet_record(out_record(src, seq, pid, src=src))
+                seq_by_node[src] = seq + 1
+        dest_seq = 0
+        for src in (2, 3, 4):
+            for pid in range(6):
+                store.add_packet_record(in_record(1, dest_seq, prev_hop=src, packet_id=pid, src=src, dst=1))
+                dest_seq += 1
+        flagged = starving_sources(store)
+        assert [source.node for source in flagged] == [9]
+        assert flagged[0].pdr == 0.0
+        assert flagged[0].median_pdr == pytest.approx(1.0)
+
+    def test_uniform_network_flags_nothing(self):
+        store = MetricsStore()
+        for src in (2, 3):
+            for pid in range(6):
+                store.add_packet_record(out_record(src, pid, pid, src=src))
+        assert starving_sources(store) == []
+
+
+class TestPlanning:
+    def test_recommend_sf_with_big_margin_steps_down(self):
+        # Very strong link: SF7 floor -7.5 + margin 10 = 2.5 dB needed.
+        assert recommend_sf(weakest_snr_db=5.0, current_sf=9) == 7
+
+    def test_recommend_sf_weak_link_needs_high_sf(self):
+        # SNR -5 dB with 10 dB margin needs a floor <= -15 dB -> SF10.
+        assert recommend_sf(weakest_snr_db=-5.0, current_sf=7) == 10
+        # SNR -9 dB needs a floor <= -19 dB -> only SF12 qualifies.
+        assert recommend_sf(weakest_snr_db=-9.0, current_sf=7) == 12
+
+    def test_recommend_sf_never_below_floor(self):
+        assert recommend_sf(weakest_snr_db=-25.0, current_sf=12) == 12
+
+    def test_sf_recommendations_from_store(self):
+        store = MetricsStore()
+        for seq in range(12):
+            store.add_packet_record(in_record(2, seq, prev_hop=1, snr=6.0))
+        recs = sf_recommendations(store, current_sf=9)
+        assert len(recs) == 1
+        rec = recs[0]
+        assert rec.node == 2
+        assert rec.recommended_sf == 7
+        assert rec.airtime_factor == pytest.approx(0.25)
+
+    def test_gateway_candidates_prefer_centre(self):
+        store = MetricsStore()
+        # Line 1-2-3: node 2 is central.
+        for seq in range(3):
+            store.add_packet_record(in_record(2, seq * 2, prev_hop=1))
+            store.add_packet_record(in_record(2, seq * 2 + 1, prev_hop=3))
+            store.add_packet_record(in_record(1, seq, prev_hop=2))
+            store.add_packet_record(in_record(3, seq, prev_hop=2))
+        candidates = best_gateway_candidates(store, top=1)
+        assert candidates[0].node == 2
+        assert candidates[0].mean_hops_to_all == pytest.approx(1.0)
+
+    def test_gateway_candidates_empty_store(self):
+        assert best_gateway_candidates(MetricsStore()) == []

@@ -1,0 +1,44 @@
+"""Unit tests for the seeded RNG registry."""
+
+from repro.sim.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_seed_and_name_reproduce_sequence(self):
+        a = RngRegistry(seed=7).stream("mac")
+        b = RngRegistry(seed=7).stream("mac")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_give_independent_streams(self):
+        registry = RngRegistry(seed=7)
+        a = registry.stream("mac")
+        b = registry.stream("channel")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("x")
+        b = RngRegistry(seed=2).stream("x")
+        assert a.random() != b.random()
+
+    def test_stream_is_cached(self):
+        registry = RngRegistry(seed=7)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_new_stream_does_not_perturb_existing(self):
+        registry_a = RngRegistry(seed=7)
+        stream = registry_a.stream("main")
+        first = stream.random()
+
+        registry_b = RngRegistry(seed=7)
+        registry_b.stream("other")  # extra stream created first
+        assert registry_b.stream("main").random() == first
+
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(seed=7).fork("sweep-1")
+        b = RngRegistry(seed=7).fork("sweep-1")
+        assert a.seed == b.seed
+
+    def test_fork_differs_from_parent(self):
+        parent = RngRegistry(seed=7)
+        child = parent.fork("sweep-1")
+        assert parent.stream("x").random() != child.stream("x").random()

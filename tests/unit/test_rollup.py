@@ -1,0 +1,77 @@
+"""Unit tests for time-series rollups."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitor.records import Direction, PacketRecord, StatusRecord
+from repro.monitor.rollup import RollupSeries, rollup_packet_rate, rollup_status_field
+from repro.monitor.storage import MetricsStore
+
+
+class TestRollupSeries:
+    def test_bucketing(self):
+        series = RollupSeries(interval_s=60.0)
+        series.add(10.0, 1.0)
+        series.add(30.0, 3.0)
+        series.add(70.0, 5.0)
+        buckets = series.buckets()
+        assert len(buckets) == 2
+        assert buckets[0].start == 0.0 and buckets[0].count == 2
+        assert buckets[0].mean == pytest.approx(2.0)
+        assert buckets[0].minimum == 1.0 and buckets[0].maximum == 3.0
+        assert buckets[1].start == 60.0 and buckets[1].count == 1
+
+    def test_gaps_are_absent(self):
+        series = RollupSeries(interval_s=10.0)
+        series.add(5.0, 1.0)
+        series.add(95.0, 1.0)
+        assert len(series) == 2
+        assert [bucket.start for bucket in series.buckets()] == [0.0, 90.0]
+
+    def test_origin_offset(self):
+        series = RollupSeries(interval_s=60.0, origin=30.0)
+        series.add(30.0, 1.0)
+        series.add(89.0, 1.0)
+        series.add(90.0, 1.0)
+        assert [bucket.count for bucket in series.buckets()] == [2, 1]
+
+    def test_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            RollupSeries(interval_s=0.0)
+
+
+class TestStoreRollups:
+    @pytest.fixture
+    def store(self):
+        store = MetricsStore()
+        for seq in range(20):
+            store.add_packet_record(PacketRecord(
+                node=1, seq=seq, timestamp=seq * 30.0, direction=Direction.IN,
+                src=2, dst=1, next_hop=1, prev_hop=2, ptype=3, packet_id=seq,
+                size_bytes=40 + seq, rssi_dbm=-100.0, snr_db=4.0,
+            ))
+        for seq in range(5):
+            store.add_status_record(StatusRecord(
+                node=1, seq=seq, timestamp=seq * 120.0, uptime_s=0.0, queue_depth=seq,
+                route_count=1, neighbor_count=1, battery_v=3.8, tx_frames=1,
+                tx_airtime_s=0.1, retransmissions=0, drops=0, duty_utilisation=0.01,
+                originated=0, delivered=0, forwarded=0,
+            ))
+        return store
+
+    def test_packet_rate_rollup(self, store):
+        series = rollup_packet_rate(store, interval_s=300.0)
+        buckets = series.buckets()
+        assert sum(bucket.count for bucket in buckets) == 20
+        # 30 s spacing -> 10 frames per 300 s bucket.
+        assert buckets[0].count == 10
+
+    def test_packet_rate_filtered_by_direction(self, store):
+        series = rollup_packet_rate(store, interval_s=300.0, direction=Direction.OUT)
+        assert sum(bucket.count for bucket in series.buckets()) == 0
+
+    def test_status_field_rollup(self, store):
+        series = rollup_status_field(store, node=1, field="queue_depth", interval_s=240.0)
+        buckets = series.buckets()
+        assert buckets[0].count == 2  # ts 0 and 120
+        assert buckets[0].maximum == 1.0

@@ -1,0 +1,147 @@
+"""Unit tests for the distance-vector route table."""
+
+import pytest
+
+from repro.mesh.packet import RoutePayload, RouteVectorEntry
+from repro.mesh.routing import RouteTable
+
+INFINITY = 16
+
+
+@pytest.fixture
+def table():
+    return RouteTable(own_address=1, infinity_metric=INFINITY, route_timeout_s=300.0)
+
+
+def vector(*entries):
+    return RoutePayload(entries=[RouteVectorEntry(dst, metric) for dst, metric in entries])
+
+
+class TestNeighborRoutes:
+    def test_hearing_a_neighbor_installs_one_hop_route(self, table):
+        assert table.observe_neighbor(2, now=0.0)
+        assert table.next_hop(2) == 2
+        assert table.metric(2) == 1
+
+    def test_repeat_observation_refreshes_not_changes(self, table):
+        table.observe_neighbor(2, now=0.0)
+        assert not table.observe_neighbor(2, now=10.0)
+        assert table.entries()[0].updated_at == 10.0
+
+    def test_direct_route_replaces_multihop(self, table):
+        table.apply_vector(3, vector((2, 1)), now=0.0)  # 2 reachable via 3, metric 2
+        assert table.metric(2) == 2
+        table.observe_neighbor(2, now=1.0)
+        assert table.metric(2) == 1
+        assert table.next_hop(2) == 2
+
+
+class TestVectorMerge:
+    def test_adopts_new_destinations(self, table):
+        table.apply_vector(2, vector((5, 1), (9, 2)), now=0.0)
+        assert table.next_hop(5) == 2
+        assert table.metric(5) == 2
+        assert table.metric(9) == 3
+
+    def test_prefers_shorter_route(self, table):
+        table.apply_vector(2, vector((9, 4)), now=0.0)
+        table.apply_vector(3, vector((9, 1)), now=1.0)
+        assert table.next_hop(9) == 3
+        assert table.metric(9) == 2
+
+    def test_ignores_worse_route_from_other_neighbor(self, table):
+        table.apply_vector(2, vector((9, 1)), now=0.0)
+        table.apply_vector(3, vector((9, 5)), now=1.0)
+        assert table.next_hop(9) == 2
+
+    def test_accepts_worsening_from_current_next_hop(self, table):
+        table.apply_vector(2, vector((9, 1)), now=0.0)
+        table.apply_vector(2, vector((9, 5)), now=1.0)
+        assert table.metric(9) == 6
+
+    def test_poison_from_next_hop_removes_route(self, table):
+        table.apply_vector(2, vector((9, 1)), now=0.0)
+        table.apply_vector(2, vector((9, INFINITY)), now=1.0)
+        assert table.next_hop(9) is None
+
+    def test_never_routes_to_self(self, table):
+        table.apply_vector(2, vector((1, 3)), now=0.0)
+        assert table.metric(1) is None
+
+    def test_infinite_advertisement_not_adopted(self, table):
+        table.apply_vector(2, vector((9, INFINITY)), now=0.0)
+        assert table.next_hop(9) is None
+
+    def test_sender_becomes_neighbor(self, table):
+        table.apply_vector(7, vector(), now=0.0)
+        assert table.next_hop(7) == 7
+
+    def test_change_detection(self, table):
+        assert table.apply_vector(2, vector((9, 1)), now=0.0)
+        assert not table.apply_vector(2, vector((9, 1)), now=1.0)
+
+
+class TestFailureHandling:
+    def test_poison_via_dead_neighbor(self, table):
+        table.apply_vector(2, vector((8, 1), (9, 2)), now=0.0)
+        table.apply_vector(3, vector((7, 1)), now=0.0)
+        lost = table.poison_via(2, now=1.0)
+        assert sorted(lost) == [2, 8, 9]
+        assert table.next_hop(7) == 3
+
+    def test_expire_flushes_stale_routes(self, table):
+        table.apply_vector(2, vector((9, 1)), now=0.0)
+        stale = table.expire(now=301.0)
+        assert sorted(stale) == [2, 9]
+        assert len(table) == 0
+
+    def test_refreshed_routes_survive_expiry(self, table):
+        table.apply_vector(2, vector((9, 1)), now=0.0)
+        table.apply_vector(2, vector((9, 1)), now=200.0)
+        assert table.expire(now=400.0) == []
+
+
+class TestAdvertisement:
+    def test_advertises_self_at_zero(self, table):
+        payload = table.advertised_vector()
+        assert payload.entries[0] == RouteVectorEntry(dst=1, metric=0)
+
+    def test_advertises_known_routes(self, table):
+        table.apply_vector(2, vector((9, 1)), now=0.0)
+        advertised = {entry.dst: entry.metric for entry in table.advertised_vector().entries}
+        assert advertised[2] == 1 and advertised[9] == 2
+
+    def test_split_horizon_poisons_reverse(self, table):
+        table.apply_vector(2, vector((9, 1)), now=0.0)
+        advertised = {
+            entry.dst: entry.metric
+            for entry in table.advertised_vector(to_neighbor=2).entries
+        }
+        assert advertised[9] == INFINITY
+
+    def test_reachable_lists_live_destinations(self, table):
+        table.apply_vector(2, vector((9, 1)), now=0.0)
+        assert table.reachable() == [2, 9]
+
+
+class TestConvergenceProperty:
+    def test_three_node_line_converges_without_loop(self):
+        # Topology 1 - 2 - 3: simulate synchronous DV rounds.
+        tables = {
+            address: RouteTable(address, INFINITY, 300.0) for address in (1, 2, 3)
+        }
+        adjacency = {1: [2], 2: [1, 3], 3: [2]}
+        for round_index in range(4):
+            advertisements = {
+                address: table.advertised_vector() for address, table in tables.items()
+            }
+            for address, neighbors in adjacency.items():
+                for neighbor in neighbors:
+                    tables[address].apply_vector(neighbor, advertisements[neighbor], now=float(round_index))
+        assert tables[1].next_hop(3) == 2
+        assert tables[3].next_hop(1) == 2
+        assert tables[1].metric(3) == 2
+        # No route through a non-neighbor ever appears.
+        for address, table in tables.items():
+            for entry in table.entries():
+                assert entry.next_hop in adjacency[address]

@@ -1,0 +1,126 @@
+"""Unit tests for the monitoring server (ingestion/dedup)."""
+
+import pytest
+
+from repro.monitor.records import Direction, PacketRecord, RecordBatch, StatusRecord
+from repro.monitor.server import MonitorServer, _SeqWindow
+
+
+def packet_record(node=1, seq=0):
+    return PacketRecord(
+        node=node, seq=seq, timestamp=float(seq), direction=Direction.IN,
+        src=2, dst=node, next_hop=node, prev_hop=2, ptype=3, packet_id=seq,
+        size_bytes=40, rssi_dbm=-100.0, snr_db=5.0,
+    )
+
+
+def status_record(node=1, seq=0):
+    return StatusRecord(
+        node=node, seq=seq, timestamp=float(seq), uptime_s=10.0, queue_depth=0,
+        route_count=1, neighbor_count=1, battery_v=3.7, tx_frames=1,
+        tx_airtime_s=0.1, retransmissions=0, drops=0, duty_utilisation=0.0,
+        originated=0, delivered=0, forwarded=0,
+    )
+
+
+def batch(node=1, batch_seq=0, packets=(), status=(), dropped=0):
+    return RecordBatch(
+        node=node, batch_seq=batch_seq, sent_at=1.0,
+        packet_records=tuple(packets), status_records=tuple(status),
+        dropped_records=dropped,
+    )
+
+
+class TestSeqWindow:
+    def test_new_seqs_accepted(self):
+        window = _SeqWindow()
+        assert window.check_and_add(0)
+        assert window.check_and_add(1)
+
+    def test_duplicates_rejected(self):
+        window = _SeqWindow()
+        window.check_and_add(5)
+        assert not window.check_and_add(5)
+
+    def test_out_of_order_within_window_ok(self):
+        window = _SeqWindow()
+        window.check_and_add(10)
+        assert window.check_and_add(3)
+        assert not window.check_and_add(3)
+
+    def test_compaction_keeps_exactness_for_old_seqs(self):
+        window = _SeqWindow(capacity=10)
+        for seq in range(25):
+            assert window.check_and_add(seq)
+        # Everything already seen stays rejected after compaction.
+        for seq in range(25):
+            assert not window.check_and_add(seq)
+
+
+class TestIngestion:
+    def test_accepts_records(self):
+        server = MonitorServer()
+        result = server.ingest(batch(packets=[packet_record(seq=0)], status=[status_record(seq=0)]))
+        assert result.ok
+        assert result.accepted_packets == 1
+        assert result.accepted_status == 1
+        assert server.store.packet_record_count() == 1
+
+    def test_deduplicates_retried_records(self):
+        server = MonitorServer()
+        records = [packet_record(seq=0), packet_record(seq=1)]
+        server.ingest(batch(batch_seq=0, packets=records))
+        result = server.ingest(batch(batch_seq=1, packets=records + [packet_record(seq=2)]))
+        assert result.accepted_packets == 1
+        assert result.duplicates == 2
+        assert server.store.packet_record_count() == 3
+
+    def test_rejects_foreign_records(self):
+        server = MonitorServer()
+        result = server.ingest(batch(node=1, packets=[packet_record(node=2, seq=0)]))
+        assert result.accepted_packets == 0
+        assert server.store.packet_record_count() == 0
+
+    def test_json_round_trip(self):
+        server = MonitorServer()
+        raw = batch(packets=[packet_record()]).to_json_bytes()
+        result = server.ingest_json(raw)
+        assert result.ok and result.accepted_packets == 1
+        assert server.stats.bytes_received == len(raw)
+
+    def test_binary_round_trip(self):
+        server = MonitorServer()
+        raw = batch(packets=[packet_record()], status=[status_record()]).to_binary()
+        result = server.ingest_binary(raw)
+        assert result.ok and result.accepted_packets == 1 and result.accepted_status == 1
+
+    def test_garbage_json_rejected(self):
+        server = MonitorServer()
+        result = server.ingest_json(b"{broken")
+        assert not result.ok
+        assert server.stats.batches_rejected == 1
+
+    def test_garbage_binary_rejected(self):
+        server = MonitorServer()
+        assert not server.ingest_binary(b"\x00\x01").ok
+
+    def test_batch_metadata_recorded(self):
+        clock_value = [123.0]
+        server = MonitorServer(clock=lambda: clock_value[0])
+        server.ingest(batch(dropped=7))
+        assert server.store.last_seen(1) == 123.0
+        assert server.store.reported_drops(1) == 7
+
+    def test_stats_accumulate(self):
+        server = MonitorServer()
+        server.ingest(batch(batch_seq=0, packets=[packet_record(seq=0)]))
+        server.ingest(batch(batch_seq=1, packets=[packet_record(seq=0)]))
+        assert server.stats.batches_ok == 2
+        assert server.stats.records_accepted == 1
+        assert server.stats.duplicates == 1
+
+    def test_per_node_windows_are_independent(self):
+        server = MonitorServer()
+        server.ingest(batch(node=1, packets=[packet_record(node=1, seq=0)]))
+        result = server.ingest(batch(node=2, packets=[packet_record(node=2, seq=0)]))
+        assert result.accepted_packets == 1

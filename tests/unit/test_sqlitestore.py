@@ -1,0 +1,149 @@
+"""Unit tests for the SQLite-backed metrics store.
+
+The store must be a drop-in for the in-memory one, so these tests mirror
+the MetricsStore behaviour and additionally check persistence and that the
+metric aggregations run unchanged on top of it.
+"""
+
+import pytest
+
+from repro.monitor import metrics
+from repro.monitor.records import Direction, NeighborObservation, PacketRecord, StatusRecord
+from repro.monitor.server import MonitorServer
+from repro.monitor.sqlitestore import SqliteMetricsStore
+
+
+def packet_record(node=1, seq=0, ts=0.0, direction=Direction.IN, src=2, dst=1, ptype=3):
+    return PacketRecord(
+        node=node, seq=seq, timestamp=ts, direction=direction,
+        src=src, dst=dst, next_hop=node, prev_hop=src, ptype=ptype, packet_id=seq,
+        size_bytes=40,
+        rssi_dbm=-105.0 if direction is Direction.IN else None,
+        snr_db=4.0 if direction is Direction.IN else None,
+        airtime_s=0.05 if direction is Direction.OUT else None,
+    )
+
+
+def status_record(node=1, seq=0, ts=0.0):
+    return StatusRecord(
+        node=node, seq=seq, timestamp=ts, uptime_s=ts, queue_depth=2,
+        route_count=3, neighbor_count=1, battery_v=3.8, tx_frames=10,
+        tx_airtime_s=1.0, retransmissions=1, drops=0, duty_utilisation=0.05,
+        originated=4, delivered=2, forwarded=1,
+        neighbors=(NeighborObservation(2, -101.0, 4.5, 7),),
+    )
+
+
+@pytest.fixture
+def store():
+    store = SqliteMetricsStore()
+    yield store
+    store.close()
+
+
+class TestBasics:
+    def test_round_trip_packet_record(self, store):
+        original = packet_record()
+        store.add_packet_record(original)
+        restored = list(store.packet_records())
+        assert len(restored) == 1
+        assert restored[0] == original
+
+    def test_round_trip_status_record(self, store):
+        original = status_record()
+        store.add_status_record(original)
+        restored = store.latest_status(1)
+        assert restored == original
+
+    def test_filters(self, store):
+        store.add_packet_record(packet_record(seq=0, direction=Direction.IN, ts=1.0))
+        store.add_packet_record(packet_record(seq=1, direction=Direction.OUT, ts=5.0))
+        store.add_packet_record(packet_record(node=2, seq=0, src=3, ts=9.0))
+        assert len(list(store.packet_records(direction=Direction.OUT))) == 1
+        assert len(list(store.packet_records(node=1))) == 2
+        assert len(list(store.packet_records(since=2.0, until=6.0))) == 1
+        assert len(list(store.packet_records(src=3))) == 1
+
+    def test_counts_and_nodes(self, store):
+        store.add_packet_record(packet_record(node=1))
+        store.add_status_record(status_record(node=5))
+        store.note_batch(9, received_at=1.0, dropped_records=2)
+        assert store.nodes() == [1, 5, 9]
+        assert store.packet_record_count() == 1
+        assert store.packet_record_count(node=2) == 0
+        assert store.status_record_count(node=5) == 1
+
+    def test_batch_metadata(self, store):
+        store.note_batch(1, received_at=10.0, dropped_records=3)
+        store.note_batch(1, received_at=20.0, dropped_records=4)
+        assert store.last_seen(1) == 20.0
+        assert store.reported_drops(1) == 7
+        assert store.last_seen(99) is None
+
+    def test_status_series(self, store):
+        for seq in range(3):
+            store.add_status_record(status_record(seq=seq, ts=seq * 60.0))
+        series = store.status_series(1, ["queue_depth"], since=30.0)
+        assert len(series) == 2
+        assert series[0]["queue_depth"] == 2.0
+
+    def test_time_bounds(self, store):
+        assert store.time_bounds() is None
+        store.add_packet_record(packet_record(seq=0, ts=2.0))
+        store.add_packet_record(packet_record(seq=1, ts=9.0))
+        assert store.time_bounds() == (2.0, 9.0)
+
+    def test_duplicate_primary_key_replaces(self, store):
+        store.add_packet_record(packet_record(seq=0, ts=1.0))
+        store.add_packet_record(packet_record(seq=0, ts=2.0))
+        records = list(store.packet_records())
+        assert len(records) == 1
+        assert records[0].timestamp == 2.0
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "telemetry.db")
+        store = SqliteMetricsStore(path)
+        store.add_packet_record(packet_record())
+        store.add_status_record(status_record())
+        store.commit()
+        store.close()
+
+        reopened = SqliteMetricsStore(path)
+        assert reopened.packet_record_count() == 1
+        assert reopened.latest_status(1) is not None
+        reopened.close()
+
+
+class TestDropInCompatibility:
+    def test_server_ingests_into_sqlite(self, store):
+        from repro.monitor.records import RecordBatch
+        server = MonitorServer(store=store)
+        batch = RecordBatch(
+            node=1, batch_seq=0, sent_at=0.0,
+            packet_records=(packet_record(),), status_records=(status_record(),),
+        )
+        result = server.ingest(batch)
+        assert result.ok and result.accepted_packets == 1
+        assert store.packet_record_count() == 1
+
+    def test_metrics_run_on_sqlite(self, store):
+        store.add_packet_record(packet_record(
+            node=2, seq=0, direction=Direction.OUT, src=2, dst=1,
+        ))
+        store.add_packet_record(packet_record(
+            node=1, seq=0, direction=Direction.IN, src=2, dst=1,
+        ))
+        pairs = metrics.pdr_matrix(store)
+        assert pairs[(2, 1)].pdr == pytest.approx(1.0)
+        links = metrics.link_quality(store)
+        assert (2, 1) in links
+
+    def test_dashboard_renders_on_sqlite(self, store):
+        from repro.monitor.dashboard import Dashboard
+        store.add_status_record(status_record())
+        store.note_batch(1, received_at=0.0, dropped_records=0)
+        dashboard = Dashboard(store)
+        text = dashboard.render_text(now=10.0)
+        assert "[nodes]" in text

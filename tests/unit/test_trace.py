@@ -1,0 +1,51 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.trace import TraceLog
+
+
+class TestTraceLog:
+    def test_emit_and_count(self):
+        trace = TraceLog()
+        trace.emit(1.0, "phy.tx", node=1)
+        trace.emit(2.0, "phy.tx", node=2)
+        trace.emit(3.0, "phy.rx", node=1)
+        assert trace.count("phy.tx") == 2
+        assert trace.count("phy.rx") == 1
+        assert trace.count("missing") == 0
+
+    def test_filter_by_kind_and_node(self):
+        trace = TraceLog()
+        trace.emit(1.0, "a", node=1)
+        trace.emit(2.0, "a", node=2)
+        trace.emit(3.0, "b", node=1)
+        assert [e.time for e in trace.events(kind="a")] == [1.0, 2.0]
+        assert [e.time for e in trace.events(node=1)] == [1.0, 3.0]
+        assert [e.time for e in trace.events(kind="a", node=2)] == [2.0]
+
+    def test_data_payload_is_kept(self):
+        trace = TraceLog()
+        event = trace.emit(1.0, "x", node=1, rssi=-100.5, extra="y")
+        assert event.data == {"rssi": -100.5, "extra": "y"}
+
+    def test_capacity_drops_oldest_but_counts_stay_exact(self):
+        trace = TraceLog(capacity=3)
+        for index in range(10):
+            trace.emit(float(index), "k")
+        assert len(trace) == 3
+        assert trace.count("k") == 10
+        assert [e.time for e in trace.events()] == [7.0, 8.0, 9.0]
+
+    def test_listener_sees_every_event(self):
+        trace = TraceLog()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1.0, "x")
+        trace.emit(2.0, "y")
+        assert [e.kind for e in seen] == ["x", "y"]
+
+    def test_empty_tracelog_is_falsy_but_usable(self):
+        # Regression guard: code must never use `trace or TraceLog()`.
+        trace = TraceLog()
+        assert not trace
+        trace.emit(0.0, "x")
+        assert trace

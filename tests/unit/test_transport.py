@@ -1,0 +1,139 @@
+"""Unit tests for segmentation and reassembly."""
+
+import pytest
+
+from repro.errors import DecodeError, EncodeError
+from repro.mesh.transport import (
+    FRAGMENT_HEADER_SIZE,
+    Fragment,
+    Reassembler,
+    segment_message,
+)
+
+
+class TestFragmentCodec:
+    def test_round_trip(self):
+        fragment = Fragment(msg_id=7, seg_index=2, seg_total=5, data=b"abc")
+        assert Fragment.decode(fragment.encode()) == fragment
+
+    def test_empty_data(self):
+        fragment = Fragment(msg_id=7, seg_index=0, seg_total=1, data=b"")
+        assert Fragment.decode(fragment.encode()) == fragment
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(DecodeError):
+            Fragment.decode(b"\x00")
+
+    def test_zero_total_rejected(self):
+        raw = Fragment(msg_id=1, seg_index=0, seg_total=1, data=b"").encode()
+        broken = raw[:3] + b"\x00" + raw[4:]
+        with pytest.raises(DecodeError):
+            Fragment.decode(broken)
+
+    def test_index_beyond_total_rejected(self):
+        raw = Fragment(msg_id=1, seg_index=0, seg_total=1, data=b"").encode()
+        broken = raw[:2] + b"\x05\x01" + raw[4:]
+        with pytest.raises(DecodeError):
+            Fragment.decode(broken)
+
+
+class TestSegmentation:
+    def test_small_message_is_one_fragment(self):
+        fragments = segment_message(1, b"hello", mtu=100)
+        assert len(fragments) == 1
+        assert fragments[0].seg_total == 1
+        assert fragments[0].data == b"hello"
+
+    def test_empty_message_is_one_empty_fragment(self):
+        fragments = segment_message(1, b"", mtu=100)
+        assert len(fragments) == 1
+        assert fragments[0].data == b""
+
+    def test_large_message_splits(self):
+        payload = bytes(range(256)) * 2  # 512 bytes
+        mtu = 100
+        fragments = segment_message(1, payload, mtu=mtu)
+        chunk = mtu - FRAGMENT_HEADER_SIZE
+        assert len(fragments) == -(-len(payload) // chunk)
+        assert b"".join(f.data for f in fragments) == payload
+        for fragment in fragments:
+            assert len(fragment.encode()) <= mtu
+
+    def test_fragment_indices_are_sequential(self):
+        fragments = segment_message(1, b"x" * 300, mtu=100)
+        assert [f.seg_index for f in fragments] == list(range(len(fragments)))
+        assert all(f.seg_total == len(fragments) for f in fragments)
+
+    def test_mtu_too_small_rejected(self):
+        with pytest.raises(EncodeError):
+            segment_message(1, b"x", mtu=FRAGMENT_HEADER_SIZE)
+
+    def test_too_many_fragments_rejected(self):
+        with pytest.raises(EncodeError):
+            segment_message(1, b"x" * 100_000, mtu=100)
+
+
+class TestReassembly:
+    def test_in_order_reassembly(self):
+        reassembler = Reassembler()
+        fragments = segment_message(5, b"A" * 250, mtu=100)
+        result = None
+        for fragment in fragments:
+            result = reassembler.push(src=1, fragment=fragment, now=0.0)
+        assert result == b"A" * 250
+        assert reassembler.completed == 1
+        assert reassembler.pending == 0
+
+    def test_out_of_order_reassembly(self):
+        reassembler = Reassembler()
+        fragments = segment_message(5, bytes(range(200)), mtu=100)
+        result = reassembler.push(1, fragments[2], now=0.0)
+        assert result is None
+        result = reassembler.push(1, fragments[0], now=0.0)
+        assert result is None
+        result = reassembler.push(1, fragments[1], now=0.0)
+        assert result == bytes(range(200))
+
+    def test_duplicate_fragment_ignored(self):
+        reassembler = Reassembler()
+        fragments = segment_message(5, b"x" * 150, mtu=100)
+        reassembler.push(1, fragments[0], now=0.0)
+        reassembler.push(1, fragments[0], now=0.0)
+        result = reassembler.push(1, fragments[1], now=0.0)
+        assert result == b"x" * 150
+
+    def test_interleaved_sources_do_not_mix(self):
+        reassembler = Reassembler()
+        frags_a = segment_message(1, b"a" * 150, mtu=100)
+        frags_b = segment_message(1, b"b" * 150, mtu=100)  # same msg_id, other src
+        reassembler.push(1, frags_a[0], now=0.0)
+        reassembler.push(2, frags_b[0], now=0.0)
+        assert reassembler.push(1, frags_a[1], now=0.0) == b"a" * 150
+        assert reassembler.push(2, frags_b[1], now=0.0) == b"b" * 150
+
+    def test_timeout_discards_partial(self):
+        reassembler = Reassembler(timeout_s=10.0)
+        fragments = segment_message(5, b"x" * 150, mtu=100)
+        reassembler.push(1, fragments[0], now=0.0)
+        # Way past the timeout: the partial is expired on the next push.
+        result = reassembler.push(1, fragments[1], now=100.0)
+        assert result is None
+        assert reassembler.expired == 1
+
+    def test_restarted_message_resets_state(self):
+        reassembler = Reassembler()
+        old = segment_message(5, b"x" * 150, mtu=100)
+        reassembler.push(1, old[0], now=0.0)
+        # Same msg_id reused with a different fragment count.
+        new = segment_message(5, b"y" * 250, mtu=100)
+        for fragment in new[:-1]:
+            assert reassembler.push(1, fragment, now=1.0) is None
+        assert reassembler.push(1, new[-1], now=1.0) == b"y" * 250
+
+    def test_partial_cap_evicts_stalest(self):
+        reassembler = Reassembler(timeout_s=1e9, max_partial=2)
+        for src in (1, 2, 3):
+            fragments = segment_message(5, b"x" * 150, mtu=100)
+            reassembler.push(src, fragments[0], now=float(src))
+        assert reassembler.pending == 2
+        assert reassembler.expired == 1

@@ -1,0 +1,152 @@
+"""Unit tests for traffic generators."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import (
+    BurstyWorkload,
+    EventWorkload,
+    PeriodicWorkload,
+    PoissonWorkload,
+    convergecast,
+    random_pairs,
+)
+
+
+class FakeNode:
+    """Minimal stand-in for MeshNode used by workload tests."""
+
+    def __init__(self, address=1, accept=True):
+        self.address = address
+        self.failed = False
+        self.accept = accept
+        self.sent = []
+
+    def send_message(self, dst, payload, ptype=None):
+        if not self.accept:
+            return None
+        self.sent.append((dst, payload))
+        return len(self.sent)
+
+
+class TestPeriodic:
+    def test_sends_at_roughly_the_interval(self, sim):
+        node = FakeNode()
+        workload = PeriodicWorkload(sim, node, dst=9, interval_s=10.0, rng=random.Random(1))
+        workload.start()
+        sim.run(until=100.0)
+        assert 8 <= workload.messages_sent <= 12
+        assert all(dst == 9 for dst, _ in node.sent)
+
+    def test_payload_size(self, sim):
+        node = FakeNode()
+        workload = PeriodicWorkload(sim, node, dst=9, interval_s=10.0, payload_bytes=48, rng=random.Random(1))
+        workload.start()
+        sim.run(until=30.0)
+        assert all(len(payload) == 48 for _, payload in node.sent)
+
+    def test_stop_halts_traffic(self, sim):
+        node = FakeNode()
+        workload = PeriodicWorkload(sim, node, dst=9, interval_s=10.0, rng=random.Random(1))
+        workload.start()
+        sim.run(until=50.0)
+        workload.stop()
+        count = workload.messages_sent
+        sim.run(until=200.0)
+        assert workload.messages_sent == count
+
+    def test_rejected_messages_counted(self, sim):
+        node = FakeNode(accept=False)
+        workload = PeriodicWorkload(sim, node, dst=9, interval_s=10.0, rng=random.Random(1))
+        workload.start()
+        sim.run(until=50.0)
+        assert workload.messages_sent == 0
+        assert workload.messages_rejected >= 3
+
+    def test_failed_node_skipped(self, sim):
+        node = FakeNode()
+        node.failed = True
+        workload = PeriodicWorkload(sim, node, dst=9, interval_s=10.0, rng=random.Random(1))
+        workload.start()
+        sim.run(until=50.0)
+        assert workload.messages_sent == 0
+
+    def test_invalid_interval(self, sim):
+        with pytest.raises(ConfigurationError):
+            PeriodicWorkload(sim, FakeNode(), dst=9, interval_s=0.0)
+
+
+class TestPoisson:
+    def test_mean_rate_approximately_respected(self, sim):
+        node = FakeNode()
+        workload = PoissonWorkload(sim, node, dst=9, rate_per_s=0.5, rng=random.Random(1))
+        workload.start()
+        sim.run(until=1000.0)
+        # Expect ~500 messages; allow wide tolerance.
+        assert 400 < workload.messages_sent < 600
+
+    def test_invalid_rate(self, sim):
+        with pytest.raises(ConfigurationError):
+            PoissonWorkload(sim, FakeNode(), dst=9, rate_per_s=-1.0)
+
+
+class TestBursty:
+    def test_messages_arrive_in_bursts(self, sim):
+        node = FakeNode()
+        workload = BurstyWorkload(
+            sim, node, dst=9, burst_interval_s=100.0, burst_size=5,
+            intra_burst_gap_s=1.0, rng=random.Random(1),
+        )
+        workload.start()
+        sim.run(until=450.0)
+        assert workload.messages_sent % 5 == 0 or workload.messages_sent > 0
+        assert workload.messages_sent >= 15
+
+    def test_invalid_burst_size(self, sim):
+        with pytest.raises(ConfigurationError):
+            BurstyWorkload(sim, FakeNode(), dst=9, burst_interval_s=10.0, burst_size=0)
+
+
+class TestEvent:
+    def test_event_rate_matches_probability(self, sim):
+        node = FakeNode()
+        workload = EventWorkload(
+            sim, node, dst=9, check_interval_s=1.0, event_probability=0.1,
+            rng=random.Random(1),
+        )
+        workload.start()
+        sim.run(until=2000.0)
+        assert 140 < workload.messages_sent < 260  # ~200 expected
+
+    def test_zero_probability_sends_nothing(self, sim):
+        node = FakeNode()
+        workload = EventWorkload(
+            sim, node, dst=9, check_interval_s=1.0, event_probability=0.0,
+            rng=random.Random(1),
+        )
+        workload.start()
+        sim.run(until=100.0)
+        assert workload.messages_sent == 0
+
+    def test_invalid_probability(self, sim):
+        with pytest.raises(ConfigurationError):
+            EventWorkload(sim, FakeNode(), dst=9, event_probability=1.5)
+
+
+class TestPatterns:
+    def test_convergecast_excludes_sink(self):
+        nodes = [FakeNode(address=a) for a in (1, 2, 3)]
+        pairs = convergecast(nodes, sink=1)
+        assert [(node.address, dst) for node, dst in pairs] == [(2, 1), (3, 1)]
+
+    def test_random_pairs_never_self(self):
+        nodes = [FakeNode(address=a) for a in range(1, 6)]
+        pairs = random_pairs(nodes, 50, random.Random(1))
+        assert len(pairs) == 50
+        assert all(node.address != dst for node, dst in pairs)
+
+    def test_random_pairs_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            random_pairs([FakeNode()], 5, random.Random(1))
