@@ -102,7 +102,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("serve requires monitoring enabled", file=sys.stderr)
         return 2
     result = run_scenario(config)
-    dashboard = Dashboard(result.store, report_interval_s=config.report_interval_s)
+    dashboard = Dashboard(
+        result.store, report_interval_s=config.report_interval_s,
+        monitor_server=result.server,
+    )
     frozen_now = result.sim.now
     http_server = MonitoringHttpServer(
         result.server, dashboard, port=args.port, clock=lambda: frozen_now

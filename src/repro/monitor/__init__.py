@@ -13,7 +13,13 @@ Client side (runs on every LoRa node):
 Server side:
 
 * :class:`~repro.monitor.server.MonitorServer` validates, deduplicates and
-  stores batches in a :class:`~repro.monitor.storage.MetricsStore`,
+  stores batches in a :class:`~repro.monitor.storage.MetricsStore` (or the
+  SQLite-backed :class:`~repro.monitor.sqlitestore.SqliteMetricsStore`,
+  whose buffered ``executemany`` write path is the high-throughput
+  ingestion knob) through a bounded ingest queue with a configurable
+  :class:`~repro.monitor.server.BackpressurePolicy`; the pipeline's own
+  :class:`~repro.monitor.server.ServerSelfMetrics` are served at
+  ``GET /api/server`` ("monitor the monitor"),
 * :mod:`~repro.monitor.metrics` computes the aggregations the dashboard
   shows (PDR, link quality, traffic matrix, airtime, latency),
 * :class:`~repro.monitor.dashboard.Dashboard` renders text/DOT/JSON views,
@@ -26,7 +32,12 @@ from repro.monitor.alerts import Alert, AlertEngine
 from repro.monitor.client import MonitorClient, MonitorClientConfig
 from repro.monitor.dashboard import Dashboard
 from repro.monitor.records import Direction, PacketRecord, RecordBatch, StatusRecord
-from repro.monitor.server import IngestResult, MonitorServer
+from repro.monitor.server import (
+    BackpressurePolicy,
+    IngestResult,
+    MonitorServer,
+    ServerSelfMetrics,
+)
 from repro.monitor.sqlitestore import SqliteMetricsStore
 from repro.monitor.storage import MetricsStore
 from repro.monitor.uplink import (
@@ -46,8 +57,10 @@ __all__ = [
     "PacketRecord",
     "RecordBatch",
     "StatusRecord",
+    "BackpressurePolicy",
     "IngestResult",
     "MonitorServer",
+    "ServerSelfMetrics",
     "MetricsStore",
     "SqliteMetricsStore",
     "GatewayBridge",

@@ -50,10 +50,20 @@ class Dashboard:
         store: MetricsStore,
         alert_engine: Optional[AlertEngine] = None,
         report_interval_s: float = 60.0,
+        monitor_server: Optional[Any] = None,
     ) -> None:
+        """Args:
+            store: the metrics store to render.
+            alert_engine: alert rules (a default engine when omitted).
+            report_interval_s: the clients' flush cadence (liveness maths).
+            monitor_server: optional :class:`~repro.monitor.server.MonitorServer`
+                whose self-metrics feed the ``[server]`` panel ("monitor
+                the monitor"); omit to hide the panel.
+        """
         self.store = store
         self.alerts = alert_engine if alert_engine is not None else AlertEngine(store)
         self.report_interval_s = report_interval_s
+        self.monitor_server = monitor_server
 
     # -- panels ------------------------------------------------------------------
 
@@ -115,6 +125,12 @@ class Dashboard:
                 }
             )
         return rows
+
+    def server_document(self) -> Optional[Dict[str, Any]]:
+        """Self-metrics of the attached monitoring server, or None."""
+        if self.monitor_server is None:
+            return None
+        return self.monitor_server.self_metrics_document()
 
     # -- renderers ----------------------------------------------------------------
 
@@ -197,6 +213,28 @@ class Dashboard:
                 )
             )
 
+        server_doc = self.server_document()
+        if server_doc is not None:
+            sections.append("\n[server]  (self-metrics)")
+            sections.append(
+                _format_table(
+                    ["batches", "records", "dedup", "decode-err", "rejected", "dropped",
+                     "queue", "q-hiwater", "flushes", "flush-max"],
+                    [[
+                        str(server_doc["batches_ingested"]),
+                        str(server_doc["records_ingested"]),
+                        str(server_doc["dedup_hits"]),
+                        str(server_doc["decode_failures"]),
+                        str(server_doc["batches_rejected"]),
+                        str(server_doc["batches_dropped"]),
+                        str(server_doc["queue_depth"]),
+                        str(server_doc["queue_high_water"]),
+                        str(server_doc["store_flushes"]),
+                        _fmt(server_doc["flush_latency_max_ms"], "ms", 2),
+                    ]],
+                )
+            )
+
         active = self.alerts.active()
         sections.append(f"\n[alerts]  {len(active)} active")
         for alert in active:
@@ -254,4 +292,5 @@ class Dashboard:
                 }
                 for alert in self.alerts.active()
             ],
+            "server": self.server_document(),
         }

@@ -15,8 +15,13 @@ A stdlib ``ThreadingHTTPServer`` exposing:
                       ``?node=N&field=queue_depth&interval=300`` for a
                       status field, ``?node=N&interval=300`` (no field)
                       for the packet rate
+``GET  /api/server``  Server self-metrics ("monitor the monitor"):
+                      ingest/dedup/decode counters, queue depth and
+                      high-water mark, store flush latencies
 ``POST /api/ingest``  Ingest one JSON record batch (what a real ESP32
-                      client would POST over WiFi)
+                      client would POST over WiFi).  Replies 503 with a
+                      ``Retry-After`` header when the ingest queue is
+                      full (REJECT backpressure) — clients retry later
 ====================  =====================================================
 
 The server needs a *clock* callable so it works both against a live
@@ -177,6 +182,8 @@ class MonitoringHttpServer:
                             for node, score in scores.items()
                         }
                     )
+                elif path == "/api/server":
+                    self._send_json(api.monitor_server.self_metrics_document())
                 elif path == "/api/history":
                     self._history()
                 elif path == "/api/dot":
@@ -245,11 +252,24 @@ class MonitoringHttpServer:
                     self._send_json(
                         {
                             "ok": True,
+                            "queued": result.queued,
                             "accepted_packets": result.accepted_packets,
                             "accepted_status": result.accepted_status,
                             "duplicates": result.duplicates,
                         }
                     )
+                elif result.retry_after_s is not None:
+                    # Backpressure: tell the client when to retry.
+                    body = json.dumps(
+                        {"ok": False, "error": result.error,
+                         "retry_after_s": result.retry_after_s}
+                    ).encode("utf-8")
+                    self.send_response(503)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Retry-After", str(max(1, int(math.ceil(result.retry_after_s)))))
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
                 else:
                     self._send_json({"ok": False, "error": result.error}, code=400)
 

@@ -36,7 +36,12 @@ class Bucket:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else math.nan
+        if not self.count:
+            return math.nan
+        # Float accumulation in `total` can put total/count an ulp outside
+        # [minimum, maximum]; clamp so the invariant min <= mean <= max
+        # holds exactly for consumers (dashboard bars, the history API).
+        return min(max(self.total / self.count, self.minimum), self.maximum)
 
 
 class RollupSeries:

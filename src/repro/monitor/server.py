@@ -1,21 +1,65 @@
-"""Monitoring server: ingestion, validation and deduplication.
+"""Monitoring server: ingestion, validation, deduplication, backpressure.
 
 The server accepts batches in either wire format (JSON from the
 out-of-band uplink, binary from the gateway bridge), validates them,
 deduplicates records on (node, record-kind, seq) — the client retries
 failed batches under new batch sequence numbers but stable record
 sequence numbers — and writes accepted records into the
-:class:`~repro.monitor.storage.MetricsStore`.
+:class:`~repro.monitor.storage.MetricsStore` (or the SQLite store)
+through the store's batched write API.
+
+Admission control
+-----------------
+
+Decoded batches pass through a bounded ingest queue so that overload
+degrades gracefully instead of stalling the mesh-side uplinks:
+
+* ``queue_capacity=None`` (default) — unbounded, every batch is
+  processed inline; the historical synchronous behaviour.
+* ``queue_capacity=N`` with ``autodrain=True`` — batches still process
+  inline, but the queue accounting (depth, high-water mark) is live.
+* ``queue_capacity=N`` with ``autodrain=False`` — batches are enqueued
+  and processed later by :meth:`MonitorServer.drain` (a worker loop, a
+  simulator event, or a test).  When the queue is full the configured
+  :class:`BackpressurePolicy` decides: ``REJECT`` refuses the new batch
+  with a ``retry_after_s`` hint (the client's at-least-once retry
+  redelivers it), ``DROP_OLDEST`` evicts the oldest queued batch to
+  admit the new one (freshest-data-wins, as a live dashboard prefers).
+
+Observability ("monitor the monitor")
+-------------------------------------
+
+:class:`ServerSelfMetrics` counts everything the ingestion pipeline
+does — batches/records ingested, dedup hits, decode failures, queue
+depth high-water mark, rejected/dropped batches, store flush count and
+latencies.  It is exposed as ``GET /api/server`` by
+:mod:`repro.monitor.httpapi` and rendered in the dashboard's
+``[server]`` panel.
 """
 
 from __future__ import annotations
 
+import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Set
+from enum import Enum
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
-from repro.errors import DecodeError
+from repro.errors import ConfigurationError, DecodeError
 from repro.monitor.records import RecordBatch
 from repro.monitor.storage import MetricsStore
+
+
+class BackpressurePolicy(Enum):
+    """What a full ingest queue does with the next batch."""
+
+    #: Refuse the batch; the result carries ``retry_after_s`` so the
+    #: client backs off and retries (at-least-once uplinks redeliver).
+    REJECT = "reject"
+    #: Evict the oldest queued batch to admit the new one.  Bounded
+    #: staleness for a live dashboard; the evicted batch is lost unless
+    #: the client retries it.
+    DROP_OLDEST = "drop_oldest"
 
 
 @dataclass(frozen=True)
@@ -27,17 +71,73 @@ class IngestResult:
     accepted_status: int = 0
     duplicates: int = 0
     error: Optional[str] = None
+    #: True when the batch was admitted to the ingest queue but not yet
+    #: processed (``autodrain=False``); counts arrive after drain().
+    queued: bool = False
+    #: Backpressure hint: seconds the client should wait before retrying.
+    retry_after_s: Optional[float] = None
 
 
 @dataclass
 class ServerStats:
-    """Server-side counters."""
+    """Server-side counters (historical shape, kept for compatibility)."""
 
     batches_ok: int = 0
     batches_rejected: int = 0
     records_accepted: int = 0
     duplicates: int = 0
     bytes_received: int = 0
+
+
+@dataclass
+class ServerSelfMetrics:
+    """Ingestion-pipeline self-metrics ("monitor the monitor").
+
+    Everything needed to answer "is the monitoring server itself
+    healthy?" — exposed over ``GET /api/server`` and on the dashboard.
+    """
+
+    batches_ingested: int = 0
+    packet_records_ingested: int = 0
+    status_records_ingested: int = 0
+    dedup_hits: int = 0
+    foreign_records_rejected: int = 0
+    decode_failures: int = 0
+    batches_rejected: int = 0          # backpressure refusals (REJECT)
+    batches_dropped: int = 0           # queue evictions (DROP_OLDEST)
+    queue_high_water: int = 0
+    store_flushes: int = 0
+    flush_latency_last_s: float = 0.0
+    flush_latency_max_s: float = 0.0
+    flush_latency_total_s: float = 0.0
+
+    def note_flush(self, latency_s: float) -> None:
+        self.store_flushes += 1
+        self.flush_latency_last_s = latency_s
+        self.flush_latency_max_s = max(self.flush_latency_max_s, latency_s)
+        self.flush_latency_total_s += latency_s
+
+    @property
+    def records_ingested(self) -> int:
+        return self.packet_records_ingested + self.status_records_ingested
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "batches_ingested": self.batches_ingested,
+            "records_ingested": self.records_ingested,
+            "packet_records_ingested": self.packet_records_ingested,
+            "status_records_ingested": self.status_records_ingested,
+            "dedup_hits": self.dedup_hits,
+            "foreign_records_rejected": self.foreign_records_rejected,
+            "decode_failures": self.decode_failures,
+            "batches_rejected": self.batches_rejected,
+            "batches_dropped": self.batches_dropped,
+            "queue_high_water": self.queue_high_water,
+            "store_flushes": self.store_flushes,
+            "flush_latency_last_ms": self.flush_latency_last_s * 1000.0,
+            "flush_latency_max_ms": self.flush_latency_max_s * 1000.0,
+            "flush_latency_total_ms": self.flush_latency_total_s * 1000.0,
+        }
 
 
 class _SeqWindow:
@@ -70,7 +170,15 @@ class _SeqWindow:
 class MonitorServer:
     """Ingestion endpoint feeding the metrics store."""
 
-    def __init__(self, store: Optional[MetricsStore] = None, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        store: Optional[MetricsStore] = None,
+        clock: Optional[Callable[[], float]] = None,
+        queue_capacity: Optional[int] = None,
+        backpressure: BackpressurePolicy = BackpressurePolicy.REJECT,
+        autodrain: bool = True,
+        retry_after_s: float = 1.0,
+    ) -> None:
         """Create a server.
 
         Args:
@@ -78,12 +186,40 @@ class MonitorServer:
             clock: returns "server time"; inside a simulation pass the
                 simulator's ``now``.  Defaults to 0.0 (tests that do not
                 care about liveness).
+            queue_capacity: bound on the ingest queue (None = unbounded).
+            backpressure: full-queue policy; see :class:`BackpressurePolicy`.
+            autodrain: process each admitted batch inline (the historical
+                synchronous behaviour).  ``False`` defers processing to
+                :meth:`drain`, which is what makes the bound and the
+                policy observable.
+            retry_after_s: hint returned with REJECT refusals.
         """
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ConfigurationError(
+                f"queue_capacity must be >= 1 or None, got {queue_capacity}"
+            )
+        if retry_after_s <= 0:
+            raise ConfigurationError(f"retry_after_s must be > 0, got {retry_after_s}")
+        if isinstance(backpressure, str):
+            backpressure = BackpressurePolicy(backpressure)
         self.store = store if store is not None else MetricsStore()
         self._clock = clock or (lambda: 0.0)
         self.stats = ServerStats()
+        self.self_metrics = ServerSelfMetrics()
+        self.queue_capacity = queue_capacity
+        self.backpressure = backpressure
+        self.autodrain = autodrain
+        self.retry_after_s = retry_after_s
+        self._queue: Deque[RecordBatch] = deque()
         self._packet_windows: Dict[int, _SeqWindow] = {}
         self._status_windows: Dict[int, _SeqWindow] = {}
+
+    # -- admission -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Batches admitted but not yet processed."""
+        return len(self._queue)
 
     def ingest_json(self, raw: bytes) -> IngestResult:
         """Ingest an out-of-band JSON batch."""
@@ -92,8 +228,9 @@ class MonitorServer:
             batch = RecordBatch.from_json_bytes(raw)
         except DecodeError as exc:
             self.stats.batches_rejected += 1
+            self.self_metrics.decode_failures += 1
             return IngestResult(ok=False, error=str(exc))
-        return self._ingest(batch)
+        return self.submit(batch)
 
     def ingest_binary(self, raw: bytes) -> IngestResult:
         """Ingest an in-band binary batch (via the gateway bridge)."""
@@ -102,47 +239,156 @@ class MonitorServer:
             batch = RecordBatch.from_binary(raw)
         except DecodeError as exc:
             self.stats.batches_rejected += 1
+            self.self_metrics.decode_failures += 1
             return IngestResult(ok=False, error=str(exc))
-        return self._ingest(batch)
+        return self.submit(batch)
 
     def ingest(self, batch: RecordBatch) -> IngestResult:
         """Ingest an already decoded batch (tests, local clients)."""
-        return self._ingest(batch)
+        return self.submit(batch)
+
+    def submit(self, batch: RecordBatch) -> IngestResult:
+        """Admit ``batch`` through the bounded queue, then maybe process it."""
+        if self.queue_capacity is not None and len(self._queue) >= self.queue_capacity:
+            if self.backpressure is BackpressurePolicy.DROP_OLDEST:
+                self._queue.popleft()
+                self.self_metrics.batches_dropped += 1
+            else:
+                self.stats.batches_rejected += 1
+                self.self_metrics.batches_rejected += 1
+                return IngestResult(
+                    ok=False,
+                    error="ingest queue full",
+                    retry_after_s=self.retry_after_s,
+                )
+        self._queue.append(batch)
+        depth = len(self._queue)
+        if depth > self.self_metrics.queue_high_water:
+            self.self_metrics.queue_high_water = depth
+        if self.autodrain:
+            return self.drain()[-1]
+        return IngestResult(ok=True, queued=True)
+
+    def drain(self, max_batches: Optional[int] = None) -> List[IngestResult]:
+        """Process up to ``max_batches`` queued batches (all by default)."""
+        results: List[IngestResult] = []
+        while self._queue and (max_batches is None or len(results) < max_batches):
+            results.append(self._ingest(self._queue.popleft()))
+        return results
+
+    # -- processing ----------------------------------------------------------
 
     def _ingest(self, batch: RecordBatch) -> IngestResult:
         packet_window = self._packet_windows.setdefault(batch.node, _SeqWindow())
         status_window = self._status_windows.setdefault(batch.node, _SeqWindow())
-        accepted_packets = 0
-        accepted_status = 0
+        accepted_packets = []
+        accepted_status = []
         duplicates = 0
         for record in batch.packet_records:
             if record.node != batch.node:
                 # A client may only report its own observations.
+                self.self_metrics.foreign_records_rejected += 1
                 continue
             if packet_window.check_and_add(record.seq):
-                self.store.add_packet_record(record)
-                accepted_packets += 1
+                accepted_packets.append(record)
             else:
                 duplicates += 1
         for record in batch.status_records:
             if record.node != batch.node:
+                self.self_metrics.foreign_records_rejected += 1
                 continue
             if status_window.check_and_add(record.seq):
-                self.store.add_status_record(record)
-                accepted_status += 1
+                accepted_status.append(record)
             else:
                 duplicates += 1
+        if accepted_packets:
+            add_packets = getattr(self.store, "add_packet_records", None)
+            if add_packets is not None:
+                add_packets(accepted_packets)
+            else:  # stores predating the batch API
+                for record in accepted_packets:
+                    self.store.add_packet_record(record)
+        if accepted_status:
+            add_status = getattr(self.store, "add_status_records", None)
+            if add_status is not None:
+                add_status(accepted_status)
+            else:
+                for record in accepted_status:
+                    self.store.add_status_record(record)
         self.store.note_batch(batch.node, self._clock(), batch.dropped_records)
-        # Durable stores (SQLite) expose commit(); flush once per batch.
+        self._flush_store()
+        self.stats.batches_ok += 1
+        self.stats.records_accepted += len(accepted_packets) + len(accepted_status)
+        self.stats.duplicates += duplicates
+        self.self_metrics.batches_ingested += 1
+        self.self_metrics.packet_records_ingested += len(accepted_packets)
+        self.self_metrics.status_records_ingested += len(accepted_status)
+        self.self_metrics.dedup_hits += duplicates
+        return IngestResult(
+            ok=True,
+            accepted_packets=len(accepted_packets),
+            accepted_status=len(accepted_status),
+            duplicates=duplicates,
+        )
+
+    def _flush_store(self) -> None:
+        """Let a durable store decide whether a flush is due."""
+        maybe_flush = getattr(self.store, "maybe_flush", None)
+        if maybe_flush is not None:
+            maybe_flush()
+            self._sync_flush_stats()
+            return
+        # Stores without batching semantics but with commit() (historical
+        # third-party drop-ins): flush once per batch as before.
         commit = getattr(self.store, "commit", None)
         if commit is not None:
             commit()
-        self.stats.batches_ok += 1
-        self.stats.records_accepted += accepted_packets + accepted_status
-        self.stats.duplicates += duplicates
-        return IngestResult(
-            ok=True,
-            accepted_packets=accepted_packets,
-            accepted_status=accepted_status,
-            duplicates=duplicates,
+
+    def _sync_flush_stats(self) -> None:
+        """Mirror the store's flush counters into the self-metrics.
+
+        The store is the source of truth: its size/age thresholds can
+        fire inside ``add_*_records`` calls, not only when the server
+        asks, so the self-metrics copy rather than re-measure.
+        """
+        stats = getattr(self.store, "flush_stats", None)
+        if stats is None:
+            return
+        self.self_metrics.store_flushes = stats.flushes
+        self.self_metrics.flush_latency_last_s = stats.last_latency_s
+        self.self_metrics.flush_latency_max_s = stats.max_latency_s
+        self.self_metrics.flush_latency_total_s = stats.total_latency_s
+
+    def flush(self) -> None:
+        """Force any buffered store writes out (shutdown, test barriers)."""
+        flush = getattr(self.store, "flush", None)
+        if flush is None:
+            return
+        started = time.perf_counter()
+        flushed = flush()
+        if getattr(self.store, "flush_stats", None) is not None:
+            self._sync_flush_stats()
+        elif flushed:
+            self.self_metrics.note_flush(time.perf_counter() - started)
+
+    def self_metrics_document(self) -> Dict[str, Any]:
+        """The ``GET /api/server`` body: self-metrics + queue + wire stats."""
+        document = self.self_metrics.to_json_dict()
+        document.update(
+            {
+                "queue_depth": self.queue_depth,
+                "queue_capacity": self.queue_capacity,
+                "backpressure": self.backpressure.value,
+                "autodrain": self.autodrain,
+                "bytes_received": self.stats.bytes_received,
+            }
         )
+        store_stats = getattr(self.store, "flush_stats", None)
+        if store_stats is not None:
+            document["store"] = {
+                "flushes": store_stats.flushes,
+                "records_flushed": store_stats.records_flushed,
+                "flush_latency_last_ms": store_stats.last_latency_s * 1000.0,
+                "flush_latency_max_ms": store_stats.max_latency_s * 1000.0,
+            }
+        return document

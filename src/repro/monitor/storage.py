@@ -7,6 +7,13 @@ aggregations, the dashboard and the HTTP API.
 The store is deliberately schema-first rather than a generic TSDB: the
 record types are fixed, so queries can expose exactly the filters the
 dashboard needs (observer, direction, packet type, time window, src/dst).
+
+The write API mirrors :class:`~repro.monitor.sqlitestore.SqliteMetricsStore`
+— single-record adds, batch adds (``add_packet_records`` /
+``add_status_records``) and ``flush()``/``close()`` — so the two backends
+stay drop-in interchangeable for the server's batched ingestion path.
+For the in-memory store the batch adds are plain loops and flush/close
+are no-ops (writes are immediately visible and nothing needs closing).
 """
 
 from __future__ import annotations
@@ -49,6 +56,23 @@ class MetricsStore:
             bucket = deque(maxlen=self._max_status)
             self._status_by_node[record.node] = bucket
         bucket.append(record)
+
+    def add_packet_records(self, records) -> None:
+        """Add many packet records (batch mirror of the SQLite store)."""
+        for record in records:
+            self.add_packet_record(record)
+
+    def add_status_records(self, records) -> None:
+        """Add many status records (batch mirror of the SQLite store)."""
+        for record in records:
+            self.add_status_record(record)
+
+    def flush(self) -> bool:
+        """No-op (in-memory writes are immediately visible); returns False."""
+        return False
+
+    def close(self) -> None:
+        """No-op, for API parity with the SQLite store."""
 
     def note_batch(self, node: int, received_at: float, dropped_records: int) -> None:
         """Record batch-level metadata (client-side loss, liveness)."""

@@ -39,6 +39,10 @@ class UplinkStats:
     batches_delivered: int = 0
     batches_lost: int = 0
     bytes_sent: int = 0
+    #: Requests the server refused under backpressure (queue full).  The
+    #: batch stays client-side and is retried — delivery remains
+    #: at-least-once, just delayed by the server's retry-after hint.
+    backpressure_rejections: int = 0
 
 
 class Uplink(ABC):
@@ -108,6 +112,18 @@ class OutOfBandUplink(Uplink):
             result = self._server.ingest_json(raw)
             self.stats.batches_delivered += 1
             ok = bool(getattr(result, "ok", True))
+            retry_after = getattr(result, "retry_after_s", None)
+            if not ok and retry_after is not None:
+                # Server backpressure: the batch was refused before any
+                # record was stored.  Honour the retry-after hint — the
+                # failure surfaces to the client no earlier than the
+                # server asked, so the next interval's retry lands after
+                # the queue has had time to drain.
+                self.stats.backpressure_rejections += 1
+                self._sim.call_in(
+                    max(self._latency(), retry_after), lambda: on_result(False)
+                )
+                return
             if self._rng.random() < self._loss:
                 # Response lost: the batch WAS ingested, but the client
                 # times out and will retry — the server's per-record

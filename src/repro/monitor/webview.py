@@ -234,5 +234,31 @@ def render_html(dashboard: Dashboard, now: float) -> str:
             f'<span class="muted">since t={alert["raised_at"]:.0f}s</span></div>'
         )
 
+    server = document.get("server")
+    if server is not None:
+        sections.append("<h2>Server (self-metrics)</h2><table>"
+                        "<tr><th>batches</th><th>records</th><th>dedup</th>"
+                        "<th>decode err</th><th>rejected</th><th>dropped</th>"
+                        "<th>queue</th><th>q hi-water</th><th>flushes</th>"
+                        "<th>flush max</th></tr>")
+        queue_depth = server["queue_depth"]
+        capacity = server["queue_capacity"]
+        queue = f"{queue_depth}/{capacity}" if capacity is not None else str(queue_depth)
+        sections.append(
+            "<tr>"
+            f"<td>{server['batches_ingested']}</td>"
+            f"<td>{server['records_ingested']}</td>"
+            f"<td>{server['dedup_hits']}</td>"
+            f"<td>{server['decode_failures']}</td>"
+            f"<td>{server['batches_rejected']}</td>"
+            f"<td>{server['batches_dropped']}</td>"
+            f"<td>{queue}</td>"
+            f"<td>{server['queue_high_water']}</td>"
+            f"<td>{server['store_flushes']}</td>"
+            f"<td>{fmt(server['flush_latency_max_ms'], ' ms', 2)}</td>"
+            "</tr>"
+        )
+        sections.append("</table>")
+
     sections.append("</body></html>")
     return "\n".join(sections)

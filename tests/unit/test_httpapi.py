@@ -171,3 +171,63 @@ class TestSanitize:
         status, body = get(http_server, "/api/summary")
         assert status == 200
         assert body["network_pdr"] is None
+
+
+class TestServerSelfMetricsEndpoint:
+    def test_self_metrics_after_ingest(self, http_server):
+        post(http_server, "/api/ingest", make_batch_bytes())
+        status, body = get(http_server, "/api/server")
+        assert status == 200
+        assert body["batches_ingested"] == 1
+        assert body["records_ingested"] == 1
+        assert body["queue_depth"] == 0
+        assert body["bytes_received"] > 0
+
+    def test_decode_failures_visible(self, http_server):
+        post(http_server, "/api/ingest", b"junk")
+        status, body = get(http_server, "/api/server")
+        assert body["decode_failures"] == 1
+
+
+class TestBackpressureOverHttp:
+    @pytest.fixture
+    def saturated_server(self):
+        from repro.monitor.server import BackpressurePolicy
+        store = MetricsStore()
+        monitor_server = MonitorServer(
+            store=store, clock=lambda: 100.0,
+            queue_capacity=1, backpressure=BackpressurePolicy.REJECT,
+            autodrain=False, retry_after_s=2.5,
+        )
+        dashboard = Dashboard(store, report_interval_s=60.0, monitor_server=monitor_server)
+        server = MonitoringHttpServer(monitor_server, dashboard, port=0, clock=lambda: 100.0)
+        server.start()
+        yield server
+        server.stop()
+
+    def test_queue_full_is_503_with_retry_after(self, saturated_server):
+        status, body = post(saturated_server, "/api/ingest", make_batch_bytes())
+        assert status == 200 and body["ok"] and body["queued"]
+
+        request = urllib.request.Request(
+            f"{saturated_server.url}/api/ingest", data=make_batch_bytes(node=2),
+            method="POST", headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        error = excinfo.value
+        assert error.code == 503
+        assert error.headers["Retry-After"] == "3"  # ceil(2.5)
+        body = json.loads(error.read())
+        assert body["retry_after_s"] == 2.5
+
+        # After a drain the same batch goes through.
+        saturated_server.monitor_server.drain()
+        status, body = post(saturated_server, "/api/ingest", make_batch_bytes(node=2))
+        assert status == 200 and body["ok"]
+
+    def test_summary_includes_server_panel(self, saturated_server):
+        status, body = get(saturated_server, "/api/summary")
+        assert status == 200
+        assert body["server"]["queue_capacity"] == 1
+        assert body["server"]["backpressure"] == "reject"

@@ -124,3 +124,137 @@ class TestIngestion:
         server.ingest(batch(node=1, packets=[packet_record(node=1, seq=0)]))
         result = server.ingest(batch(node=2, packets=[packet_record(node=2, seq=0)]))
         assert result.accepted_packets == 1
+
+
+class TestBackpressure:
+    def saturated_server(self, policy="reject"):
+        from repro.monitor.server import BackpressurePolicy
+        return MonitorServer(
+            queue_capacity=2, backpressure=BackpressurePolicy(policy),
+            autodrain=False, retry_after_s=3.0,
+        )
+
+    def test_deferred_batches_are_queued_not_processed(self):
+        server = self.saturated_server()
+        result = server.ingest(batch(batch_seq=0, packets=[packet_record(seq=0)]))
+        assert result.ok and result.queued
+        assert server.queue_depth == 1
+        assert server.store.packet_record_count() == 0
+
+    def test_reject_when_full_with_retry_after(self):
+        server = self.saturated_server("reject")
+        server.ingest(batch(batch_seq=0))
+        server.ingest(batch(batch_seq=1))
+        result = server.ingest(batch(batch_seq=2))
+        assert not result.ok
+        assert result.retry_after_s == 3.0
+        assert server.self_metrics.batches_rejected == 1
+        assert server.stats.batches_rejected == 1
+        assert server.queue_depth == 2
+
+    def test_drop_oldest_when_full(self):
+        server = self.saturated_server("drop_oldest")
+        server.ingest(batch(batch_seq=0, packets=[packet_record(seq=0)]))
+        server.ingest(batch(batch_seq=1, packets=[packet_record(seq=1)]))
+        result = server.ingest(batch(batch_seq=2, packets=[packet_record(seq=2)]))
+        assert result.ok and result.queued
+        assert server.self_metrics.batches_dropped == 1
+        assert server.queue_depth == 2
+        server.drain()
+        # batch 0 was evicted; batches 1 and 2 made it to the store.
+        assert sorted(r.seq for r in server.store.packet_records()) == [1, 2]
+
+    def test_drain_processes_in_fifo_order_with_limit(self):
+        server = self.saturated_server()
+        server.ingest(batch(batch_seq=0, packets=[packet_record(seq=0)]))
+        server.ingest(batch(batch_seq=1, packets=[packet_record(seq=1)]))
+        results = server.drain(max_batches=1)
+        assert len(results) == 1 and results[0].accepted_packets == 1
+        assert server.queue_depth == 1
+        assert server.store.packet_record_count() == 1
+        server.drain()
+        assert server.queue_depth == 0
+        assert server.store.packet_record_count() == 2
+
+    def test_queue_high_water_mark(self):
+        server = self.saturated_server()
+        server.ingest(batch(batch_seq=0))
+        server.ingest(batch(batch_seq=1))
+        server.drain()
+        assert server.self_metrics.queue_high_water == 2
+        assert server.queue_depth == 0
+
+    def test_rejected_batch_retried_later_is_accepted(self):
+        server = self.saturated_server("reject")
+        server.ingest(batch(batch_seq=0))
+        server.ingest(batch(batch_seq=1))
+        payload = [packet_record(seq=7)]
+        assert not server.ingest(batch(batch_seq=2, packets=payload)).ok
+        server.drain()
+        retried = server.ingest(batch(batch_seq=3, packets=payload))
+        assert retried.ok and retried.queued
+        server.drain()
+        assert server.store.packet_record_count() == 1
+
+    def test_invalid_queue_config_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            MonitorServer(queue_capacity=0)
+        with pytest.raises(ConfigurationError):
+            MonitorServer(retry_after_s=0.0)
+
+
+class TestSelfMetrics:
+    def test_ingest_counters(self):
+        server = MonitorServer()
+        server.ingest(batch(batch_seq=0, packets=[packet_record(seq=0)],
+                            status=[status_record(seq=0)]))
+        server.ingest(batch(batch_seq=1, packets=[packet_record(seq=0)]))
+        metrics = server.self_metrics
+        assert metrics.batches_ingested == 2
+        assert metrics.packet_records_ingested == 1
+        assert metrics.status_records_ingested == 1
+        assert metrics.records_ingested == 2
+        assert metrics.dedup_hits == 1
+
+    def test_decode_failure_counted(self):
+        server = MonitorServer()
+        server.ingest_json(b"{broken")
+        assert server.self_metrics.decode_failures == 1
+
+    def test_foreign_records_counted(self):
+        server = MonitorServer()
+        server.ingest(batch(node=1, packets=[packet_record(node=2, seq=0)]))
+        assert server.self_metrics.foreign_records_rejected == 1
+
+    def test_document_shape(self):
+        server = MonitorServer()
+        server.ingest(batch(packets=[packet_record(seq=0)]))
+        document = server.self_metrics_document()
+        assert document["batches_ingested"] == 1
+        assert document["records_ingested"] == 1
+        assert document["queue_depth"] == 0
+        assert document["queue_capacity"] is None
+        assert document["backpressure"] == "reject"
+
+    def test_flush_latency_recorded_for_sqlite_store(self):
+        from repro.monitor.sqlitestore import SqliteMetricsStore
+        store = SqliteMetricsStore(flush_records=1)
+        server = MonitorServer(store=store)
+        server.ingest(batch(packets=[packet_record(seq=0)]))
+        assert server.self_metrics.store_flushes >= 1
+        assert server.self_metrics.flush_latency_max_s > 0.0
+        document = server.self_metrics_document()
+        assert document["store"]["records_flushed"] >= 1
+        store.close()
+
+    def test_explicit_server_flush(self):
+        from repro.monitor.sqlitestore import SqliteMetricsStore
+        store = SqliteMetricsStore(flush_records=10_000, flush_interval_s=None)
+        server = MonitorServer(store=store)
+        server.ingest(batch(packets=[packet_record(seq=0)]))
+        assert store.pending_records == 1
+        server.flush()
+        assert store.pending_records == 0
+        assert server.self_metrics.store_flushes == 1
+        store.close()

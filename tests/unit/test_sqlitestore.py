@@ -147,3 +147,101 @@ class TestDropInCompatibility:
         dashboard = Dashboard(store)
         text = dashboard.render_text(now=10.0)
         assert "[nodes]" in text
+
+
+class TestBatchedWrites:
+    """The buffered executemany write path (the high-throughput knob)."""
+
+    def test_batch_adds_visible_to_reads(self, store):
+        store.add_packet_records([packet_record(seq=seq) for seq in range(10)])
+        store.add_status_records([status_record(seq=seq) for seq in range(3)])
+        # No explicit flush: reads must see buffered writes.
+        assert store.packet_record_count() == 10
+        assert store.status_record_count() == 3
+
+    def test_flush_threshold_by_size(self):
+        store = SqliteMetricsStore(flush_records=5, flush_interval_s=None)
+        store.add_packet_records([packet_record(seq=seq) for seq in range(4)])
+        assert store.pending_records == 4
+        assert store.flush_stats.flushes == 0
+        store.add_packet_record(packet_record(seq=4))
+        assert store.pending_records == 0
+        assert store.flush_stats.flushes == 1
+        assert store.flush_stats.records_flushed == 5
+        store.close()
+
+    def test_flush_threshold_by_age(self):
+        clock = [0.0]
+        store = SqliteMetricsStore(
+            flush_records=1000, flush_interval_s=2.0, clock=lambda: clock[0],
+        )
+        store.add_packet_record(packet_record(seq=0))
+        assert store.pending_records == 1
+        clock[0] = 3.0
+        store.add_packet_record(packet_record(seq=1))
+        assert store.pending_records == 0  # age trigger fired
+        store.close()
+
+    def test_maybe_flush_only_when_due(self):
+        store = SqliteMetricsStore(flush_records=100, flush_interval_s=None)
+        store.add_packet_record(packet_record(seq=0))
+        assert store.maybe_flush() is False
+        assert store.pending_records == 1
+        store.add_packet_records([packet_record(seq=seq) for seq in range(1, 100)])
+        assert store.pending_records == 0
+        store.close()
+
+    def test_explicit_flush(self, store):
+        store.add_packet_record(packet_record())
+        assert store.flush() is True
+        assert store.pending_records == 0
+        assert store.flush() is False  # nothing pending
+
+    def test_row_at_a_time_mode_bypasses_buffer(self):
+        store = SqliteMetricsStore(batch_writes=False)
+        store.add_packet_records([packet_record(seq=0), packet_record(seq=1)])
+        assert store.pending_records == 0
+        assert store.packet_record_count() == 2
+        store.close()
+
+    def test_duplicate_in_one_buffer_last_wins(self, store):
+        store.add_packet_records([
+            packet_record(seq=0, ts=1.0), packet_record(seq=0, ts=2.0),
+        ])
+        records = list(store.packet_records())
+        assert len(records) == 1 and records[0].timestamp == 2.0
+
+    def test_invalid_flush_config_rejected(self):
+        from repro.errors import StorageError
+        with pytest.raises(StorageError):
+            SqliteMetricsStore(flush_records=0)
+        with pytest.raises(StorageError):
+            SqliteMetricsStore(flush_interval_s=0.0)
+
+
+class TestPragmasAndDurability:
+    def test_wal_mode_on_file_backed_store(self, tmp_path):
+        store = SqliteMetricsStore(str(tmp_path / "telemetry.db"))
+        assert store.journal_mode() == "wal"
+        store.close()
+
+    def test_wal_opt_out(self, tmp_path):
+        store = SqliteMetricsStore(str(tmp_path / "telemetry.db"), wal=False)
+        assert store.journal_mode() != "wal"
+        store.close()
+
+    def test_memory_store_has_no_wal(self):
+        store = SqliteMetricsStore()
+        assert store.journal_mode() == "memory"
+        store.close()
+
+    def test_flush_on_close_persists_buffered_records(self, tmp_path):
+        path = str(tmp_path / "telemetry.db")
+        store = SqliteMetricsStore(path, flush_records=10_000, flush_interval_s=None)
+        store.add_packet_records([packet_record(seq=seq) for seq in range(7)])
+        assert store.pending_records == 7
+        store.close()  # must flush, not drop, the buffer
+
+        reopened = SqliteMetricsStore(path)
+        assert reopened.packet_record_count() == 7
+        reopened.close()

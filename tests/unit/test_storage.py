@@ -118,3 +118,21 @@ class TestBatchMetadata:
         store.note_batch(1, received_at=2.0, dropped_records=3)
         assert store.reported_drops(1) == 8
         assert store.reported_drops(2) == 0
+
+
+class TestBatchApi:
+    """The in-memory store mirrors the SQLite store's batch write API."""
+
+    def test_add_packet_records(self, store):
+        store.add_packet_records([packet_record(seq=0), packet_record(seq=1)])
+        assert store.packet_record_count() == 2
+
+    def test_add_status_records(self, store):
+        store.add_status_records([status_record(seq=0), status_record(seq=1)])
+        assert store.status_record_count() == 2
+
+    def test_flush_and_close_are_noops(self, store):
+        store.add_packet_records([packet_record()])
+        assert store.flush() is False  # nothing is ever pending in RAM
+        store.close()
+        assert store.packet_record_count() == 1
