@@ -77,9 +77,10 @@ def test_f4_dv_vs_flooding(benchmark):
     import random
     from repro.mesh.flooding import FloodingPolicy
     policy = FloodingPolicy(rng=random.Random(1))
+    msg_ids = random.Random(2)
 
     def relay_decision():
-        policy.cache.seen_before((1, random.randrange(1 << 16)), 0.0)
+        policy.cache.seen_before((1, msg_ids.randrange(1 << 16)), 0.0)
         policy.rebroadcast_delay(snr_db=-5.0)
 
     benchmark(relay_decision)

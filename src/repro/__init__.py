@@ -12,8 +12,12 @@ Quick start::
     from repro import ScenarioConfig, run_scenario
     from repro.monitor.dashboard import Dashboard
 
-    result = run_scenario(ScenarioConfig(n_nodes=16, duration_s=1800))
-    print(Dashboard(result.store).render_text(result.sim.now))
+    with run_scenario(ScenarioConfig(n_nodes=16, duration_s=1800)) as result:
+        print(Dashboard(result.store).render_text(result.sim.now))
+
+The ``with`` block flushes and closes the monitoring store on exit
+(``ScenarioResult`` is a context manager); equivalently, call
+``result.close()`` when done.
 
 See README.md for the architecture overview and DESIGN.md for the
 experiment index.

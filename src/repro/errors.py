@@ -51,3 +51,7 @@ class StorageError(ReproError):
 
 class IngestError(ReproError):
     """The monitoring server rejected a telemetry batch."""
+
+
+class LintConfigError(ReproError):
+    """reprolint was configured with unknown rules or unusable paths."""

@@ -1,0 +1,109 @@
+"""``repro-lint`` — the linter's command-line front end.
+
+Exit codes follow lint convention: 0 clean, 1 violations found, 2 bad
+invocation.  ``--format json`` emits a machine-readable report for CI
+annotation tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import LintConfigError
+from repro.lint.engine import run_lint
+from repro.lint.registry import default_registry
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & resource-safety linter for the repro "
+            "tree (rules RL001-RL006; see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = default_registry()
+    if args.list_rules:
+        for rule in registry.all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return EXIT_CLEAN
+    select = [part for part in args.select.split(",") if part.strip()]
+    ignore = [part for part in args.ignore.split(",") if part.strip()]
+    try:
+        report = run_lint(args.paths, registry=registry, select=select, ignore=ignore)
+    except LintConfigError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": report.files_checked,
+                    "violations": [
+                        {
+                            "path": violation.path,
+                            "line": violation.line,
+                            "col": violation.col,
+                            "rule": violation.rule_id,
+                            "message": violation.message,
+                        }
+                        for violation in report.sorted()
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in report.sorted():
+            print(violation.render())
+    summary = (
+        f"repro-lint: {report.files_checked} files, "
+        f"{len(report.violations)} violation(s)"
+    )
+    print(summary, file=sys.stderr)
+    return EXIT_CLEAN if report.ok else EXIT_VIOLATIONS
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Per-file analysis context shared by every rule.
+
+A rule receives one :class:`FileContext` and asks it scoping questions
+("is this file inside a simulation-scoped package?", "is it test
+code?") instead of re-deriving paths itself.  Scoping is what lets the
+same rule set run over ``src/``, ``benchmarks/`` and ``examples/``
+without drowning legitimate code — the monitoring server *should* read
+wall-clock; ``cli.py`` *should* print.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.lint.suppress import Suppressions
+
+#: packages (under ``repro``) that run on simulated time and injected RNG
+SIM_SCOPED_PACKAGES: Tuple[str, ...] = (
+    "sim",
+    "mesh",
+    "phy",
+    "workloads",
+    "scenario",
+    "baselines",
+)
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name for ``path``, or None for a loose script.
+
+    Walks up while ``__init__.py`` exists, so ``src/repro/sim/engine.py``
+    resolves to ``repro.sim.engine`` regardless of the directory the
+    linter was invoked from.
+    """
+    path = path.resolve()
+    packages = []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        packages.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    if not packages:
+        return None  # a loose script, not a module in a package
+    if path.stem != "__init__":
+        packages.append(path.stem)
+    return ".".join(packages)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    module: Optional[str]
+
+    # -- scoping --------------------------------------------------------------
+
+    @property
+    def stem(self) -> str:
+        return self.path.stem
+
+    @property
+    def is_test_code(self) -> bool:
+        """Test modules get a pass on resource-lifecycle pedantry."""
+        parts = {part.lower() for part in self.path.parts}
+        if "tests" in parts or "test" in parts:
+            return True
+        return self.stem.startswith("test_") or self.stem == "conftest"
+
+    @property
+    def is_library_code(self) -> bool:
+        """True for modules inside the installed ``repro`` package."""
+        return self.module is not None and (
+            self.module == "repro" or self.module.startswith("repro.")
+        )
+
+    @property
+    def repro_subpackage(self) -> Optional[str]:
+        """First package level under ``repro`` (``"sim"``, ``"monitor"``, ...)."""
+        if not self.is_library_code:
+            return None
+        parts = (self.module or "").split(".")
+        return parts[1] if len(parts) > 1 else None
+
+    def in_subpackages(self, *names: str) -> bool:
+        return self.repro_subpackage in names
+
+    @property
+    def is_sim_scoped(self) -> bool:
+        """Inside a package whose code runs on simulated time."""
+        return self.in_subpackages(*SIM_SCOPED_PACKAGES)

@@ -1,0 +1,137 @@
+"""File discovery, parsing and rule dispatch.
+
+``run_lint(paths)`` is the whole pipeline: discover ``*.py`` files,
+parse each once, parse its suppression comments, run every (selected)
+rule, drop violations a suppression excuses, and fold the remainder —
+plus any suppression-hygiene problems — into a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import LintConfigError
+from repro.lint.context import FileContext, module_name_for
+from repro.lint.registry import RuleRegistry, default_registry
+from repro.lint.suppress import META_RULE_ID, parse_suppressions
+from repro.lint.violation import Violation
+
+#: directories never worth descending into
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hg",
+    ".mypy_cache",
+    ".pytest_cache",
+    ".ruff_cache",
+    ".venv",
+    "build",
+    "dist",
+    "node_modules",
+    "venv",
+}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def sorted(self) -> List[Violation]:
+        return sorted(self.violations)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``*.py`` under ``paths`` (files pass through as-is).
+
+    Raises:
+        LintConfigError: when a named path does not exist.
+    """
+    for path in paths:
+        if not path.exists():
+            raise LintConfigError(f"no such file or directory: {path}")
+        if path.is_file():
+            yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            relative_parts = set(candidate.relative_to(path).parts[:-1])
+            if relative_parts & _SKIP_DIRS:
+                continue
+            if any(part.endswith(".egg-info") for part in relative_parts):
+                continue
+            yield candidate
+
+
+def lint_file(
+    path: Path,
+    registry: Optional[RuleRegistry] = None,
+    select: Iterable[str] = (),
+    ignore: Iterable[str] = (),
+) -> List[Violation]:
+    """Lint one file; unparseable files yield a single RL000 violation."""
+    registry = registry if registry is not None else default_registry()
+    rules = registry.resolve(select=select, ignore=ignore)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Violation(str(path), 1, 0, META_RULE_ID, f"cannot read file: {exc}")
+        ]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Violation(
+                str(path),
+                exc.lineno or 1,
+                exc.offset or 0,
+                META_RULE_ID,
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    suppressions = parse_suppressions(source, known_rule_ids=registry.ids)
+    context = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=suppressions,
+        module=module_name_for(path),
+    )
+    violations: List[Violation] = [
+        Violation(str(path), line, 0, META_RULE_ID, message)
+        for line, message in suppressions.problems
+    ]
+    for rule in rules:
+        for violation in rule.check(context):
+            if suppressions.allows(violation.line, violation.rule_id):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def run_lint(
+    paths: Sequence[object],
+    registry: Optional[RuleRegistry] = None,
+    select: Iterable[str] = (),
+    ignore: Iterable[str] = (),
+) -> LintReport:
+    """Lint every Python file under ``paths``; the programmatic entry point."""
+    registry = registry if registry is not None else default_registry()
+    registry.resolve(select=select, ignore=ignore)  # fail fast on bad ids
+    report = LintReport()
+    for path in iter_python_files([Path(str(p)) for p in paths]):
+        report.files_checked += 1
+        report.violations.extend(
+            lint_file(path, registry=registry, select=select, ignore=ignore)
+        )
+    report.violations.sort()
+    return report

@@ -1,0 +1,89 @@
+"""Rule registry.
+
+Rules are small classes with a ``rule_id``, a ``title`` and a
+``check(context)`` generator.  They register themselves on import via
+the :meth:`RuleRegistry.register` decorator, so adding a rule is one new
+module under :mod:`repro.lint.rules` plus one import line — the engine,
+CLI, ``--select``/``--ignore`` filtering and docs listing all pick it up
+from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Protocol, Set, Type
+
+from repro.errors import LintConfigError
+from repro.lint.context import FileContext
+from repro.lint.violation import Violation
+
+
+class Rule(Protocol):
+    """What the engine requires of a rule instance."""
+
+    rule_id: str
+    title: str
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``context``."""
+        ...
+
+
+class RuleRegistry:
+    """Ordered id -> rule mapping with select/ignore resolution."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def register(self, rule_class: Type) -> Type:
+        """Class decorator: instantiate and file the rule under its id."""
+        rule = rule_class()
+        rule_id = getattr(rule, "rule_id", None)
+        if not rule_id:
+            raise LintConfigError(f"{rule_class.__name__} has no rule_id")
+        if rule_id in self._rules:
+            raise LintConfigError(f"duplicate rule id {rule_id}")
+        self._rules[rule_id] = rule
+        return rule_class
+
+    @property
+    def ids(self) -> Set[str]:
+        return set(self._rules)
+
+    def all_rules(self) -> List[Rule]:
+        return [self._rules[key] for key in sorted(self._rules)]
+
+    def resolve(
+        self,
+        select: Iterable[str] = (),
+        ignore: Iterable[str] = (),
+    ) -> List[Rule]:
+        """Rules to run given ``--select`` / ``--ignore`` id lists.
+
+        Raises:
+            LintConfigError: when a listed id is not registered.
+        """
+        select_ids = {rule_id.strip() for rule_id in select if rule_id.strip()}
+        ignore_ids = {rule_id.strip() for rule_id in ignore if rule_id.strip()}
+        unknown = (select_ids | ignore_ids) - self.ids
+        if unknown:
+            raise LintConfigError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(self.ids))}"
+            )
+        chosen = select_ids or self.ids
+        return [rule for rule in self.all_rules() if rule.rule_id in chosen - ignore_ids]
+
+
+_default = RuleRegistry()
+
+
+def register(rule_class: Type) -> Type:
+    """Register ``rule_class`` on the default registry (decorator)."""
+    return _default.register(rule_class)
+
+
+def default_registry() -> RuleRegistry:
+    """The registry with every built-in rule loaded."""
+    import repro.lint.rules  # noqa: F401  - registers on import
+
+    return _default

@@ -1,0 +1,64 @@
+"""RL003 — no float ``==`` / ``!=`` in ``phy`` / ``sim``.
+
+RSSI, SNR, path loss and event timestamps are accumulated floats;
+comparing them for exact equality is either a latent bug (two
+mathematically equal expressions rounding differently) or an exact
+sentinel check that deserves an explicit suppression rationale at the
+site (e.g. "0.0 means the caller asked for a reset").
+
+Static analysis cannot type arbitrary names, so the rule flags
+comparisons where an operand is *syntactically* float-valued: a float
+literal, a unary ``-`` of one, or a ``float(...)`` call.  That is
+exactly the shape of every real offender found in this tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import register
+from repro.lint.violation import Violation
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        return _is_floaty(node.left) or _is_floaty(node.right)
+    return False
+
+
+@register
+class FloatEqualityRule:
+    rule_id = "RL003"
+    title = "no float equality comparisons in phy/sim"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if not context.in_subpackages("phy", "sim"):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floaty(left) or _is_floaty(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield Violation(
+                        path=str(context.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"float {symbol} comparison; use math.isclose / an "
+                            "epsilon, or suppress with a rationale if the exact "
+                            "value is a sentinel"
+                        ),
+                    )

@@ -1,0 +1,171 @@
+"""RL006 — metrics stores must be closed or used as context managers.
+
+:class:`SqliteMetricsStore` buffers writes; records sit in memory until
+``flush()``/``close()``.  A store that is constructed and dropped loses
+the tail of the telemetry — experiments "pass" with truncated data.
+Both store types support ``with`` and ``close()`` (the in-memory
+store's close is a no-op, kept so backends stay drop-in swappable), so
+non-test code has no excuse not to pin down who closes the store.
+
+The rule accepts any of these as evidence of a managed lifecycle:
+
+* construction inside a ``with`` item;
+* the constructed value returned, or passed directly to another call
+  (ownership transfer to the caller/callee);
+* assignment to ``self.<attr>`` inside a class that itself defines
+  ``close`` or ``__exit__`` (the owner propagates the close);
+* assignment to a local that is later ``close()``d, used in a ``with``,
+  returned, stored on ``self``, or handed to another call within the
+  same scope.
+
+Test code is exempt — fixtures are torn down with the process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Union
+
+from repro.lint.context import FileContext
+from repro.lint.registry import register
+from repro.lint.violation import Violation
+
+_STORE_NAMES = {"MetricsStore", "SqliteMetricsStore"}
+
+_ScopeNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module]
+
+
+def _callee_name(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return ""
+
+
+def _build_parents(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _enclosing(node: ast.AST, parents: Dict[ast.AST, ast.AST], kinds) -> Optional[ast.AST]:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, kinds):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def _class_manages_lifecycle(class_node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and member.name in ("close", "__exit__", "__del__")
+        for member in class_node.body
+    )
+
+
+def _name_used(tree: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name for node in ast.walk(tree)
+    )
+
+
+def _scope_has_evidence(scope: ast.AST, name: str) -> bool:
+    """Does ``scope`` close / hand off the store bound to ``name``?"""
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("close", "__exit__")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                return True  # name.close()
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _name_used(arg, name):
+                    return True  # handed to another call
+        elif isinstance(node, ast.withitem):
+            if _name_used(node.context_expr, name):
+                return True  # with name: / with closing(name):
+        elif isinstance(node, ast.Return) and node.value is not None:
+            if _name_used(node.value, name):
+                return True  # ownership returned to the caller
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if node.value is not None and _name_used(node.value, name):
+                for target in targets:
+                    if isinstance(target, ast.Attribute):
+                        return True  # re-homed onto an object attribute
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)) and node.value is not None:
+            if _name_used(node.value, name):
+                return True  # generator hands the store to its consumer
+    return False
+
+
+@register
+class StoreLifecycleRule:
+    rule_id = "RL006"
+    title = "metrics stores must be closed or context-managed"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if context.is_test_code:
+            return
+        parents = _build_parents(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call) or _callee_name(node) not in _STORE_NAMES:
+                continue
+            if not self._is_managed(node, parents):
+                yield Violation(
+                    path=str(context.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{_callee_name(node)} constructed without a managed "
+                        "lifecycle; use 'with ...' or ensure close() is called"
+                    ),
+                )
+
+    def _is_managed(self, call: ast.Call, parents: Dict[ast.AST, ast.AST]) -> bool:
+        node: ast.AST = call
+        parent = parents.get(node)
+        # step through value-forwarding wrappers: `a if c else Store()`,
+        # `existing or Store()`
+        while isinstance(parent, (ast.IfExp, ast.BoolOp)):
+            node = parent
+            parent = parents.get(node)
+        if parent is None:
+            return False
+        if isinstance(parent, ast.withitem):
+            return True
+        if isinstance(parent, ast.Call):
+            return True  # direct argument: callee takes ownership
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return True  # caller/consumer takes ownership
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    class_node = _enclosing(parent, parents, ast.ClassDef)
+                    if class_node is not None and _class_manages_lifecycle(class_node):
+                        return True
+                elif isinstance(target, ast.Name):
+                    scope = _enclosing(
+                        parent,
+                        parents,
+                        (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda),
+                    ) or _module_of(parent, parents)
+                    if scope is not None and _scope_has_evidence(scope, target.id):
+                        return True
+        return False
+
+
+def _module_of(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> Optional[ast.AST]:
+    return _enclosing(node, parents, ast.Module)

@@ -1,0 +1,73 @@
+"""RL004 — no mutable default arguments.
+
+A mutable default is evaluated once at ``def`` time and shared by every
+call.  In a simulator that is not a style nit: a shared default list of
+workloads or neighbors leaks state *between scenario runs in the same
+process*, which is precisely the cross-run contamination the seeded-RNG
+architecture exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.registry import register
+from repro.lint.violation import Violation
+
+_MUTABLE_CONSTRUCTORS = {
+    "Counter",
+    "OrderedDict",
+    "bytearray",
+    "defaultdict",
+    "deque",
+    "dict",
+    "list",
+    "set",
+}
+
+
+def _mutable_kind(node: Optional[ast.expr]) -> str:
+    """Human name of the mutable literal/constructor, or '' if safe."""
+    if node is None:
+        return ""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _MUTABLE_CONSTRUCTORS:
+            return node.func.id
+    return ""
+
+
+@register
+class MutableDefaultRule:
+    rule_id = "RL004"
+    title = "no mutable default arguments"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                kind = _mutable_kind(default)
+                if kind:
+                    yield Violation(
+                        path=str(context.path),
+                        line=default.lineno,
+                        col=default.col_offset,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"mutable default ({kind}) in {name}(); evaluated "
+                            "once and shared across calls — default to None and "
+                            "construct inside the body"
+                        ),
+                    )

@@ -1,0 +1,48 @@
+"""RL005 — no ``print()`` in library code.
+
+Library modules report through return values, the trace log or the
+dashboard; stray prints interleave with benchmark output and corrupt
+machine-parsed experiment logs.  ``cli.py`` and ``dashboard.py`` are the
+user-facing surfaces and may print; scripts outside the ``repro``
+package (benchmarks, examples) are exempt by scoping.  Docstring
+examples are naturally exempt — a ``print`` inside a string literal is
+not a call node.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import register
+from repro.lint.violation import Violation
+
+#: module stems (anywhere under ``repro``) allowed to print
+_PRINTING_STEMS = {"cli", "dashboard", "__main__"}
+
+
+@register
+class PrintInLibraryRule:
+    rule_id = "RL005"
+    title = "no print() in library code"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if not context.is_library_code or context.stem in _PRINTING_STEMS:
+            return
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield Violation(
+                    path=str(context.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        "print() in library code; return data, raise, or log "
+                        "via the trace — only cli.py/dashboard.py print"
+                    ),
+                )

@@ -1,0 +1,95 @@
+"""RL002 — no module-level / global RNG use.
+
+Every stochastic subsystem must draw from an injected, seeded
+:class:`random.Random` (the :class:`~repro.sim.rng.RngRegistry` streams),
+so that adding a consumer never perturbs the draws seen by existing
+ones.  ``random.random()`` et al. share one hidden global stream —
+import order becomes part of the seed — and an argument-less
+``random.Random()`` seeds from the OS.  Both make "same seed, same
+result" a lie.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.registry import register
+from repro.lint.violation import Violation
+
+#: module-level functions of :mod:`random` that draw from the global stream
+_GLOBAL_RNG_FUNCS = {
+    "betavariate",
+    "choice",
+    "choices",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "getrandbits",
+    "lognormvariate",
+    "normalvariate",
+    "paretovariate",
+    "randbytes",
+    "randint",
+    "random",
+    "randrange",
+    "sample",
+    "seed",
+    "shuffle",
+    "triangular",
+    "uniform",
+    "vonmisesvariate",
+    "weibullvariate",
+}
+
+
+@register
+class GlobalRngRule:
+    rule_id = "RL002"
+    title = "no global or unseeded RNG"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                message = self._call_problem(node)
+                if message:
+                    yield self._violation(context, node, message)
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _GLOBAL_RNG_FUNCS:
+                        yield self._violation(
+                            context,
+                            node,
+                            f"importing {alias.name!r} from random binds the "
+                            "global RNG stream; inject a random.Random instead",
+                        )
+
+    def _call_problem(self, node: ast.Call) -> str:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)):
+            return ""
+        if func.value.id != "random":
+            return ""
+        if func.attr in _GLOBAL_RNG_FUNCS:
+            return (
+                f"random.{func.attr}() draws from the process-global RNG; "
+                "inject a seeded random.Random (see repro.sim.rng.RngRegistry)"
+            )
+        if func.attr == "Random" and not node.args and not node.keywords:
+            return (
+                "random.Random() without a seed argument seeds from the OS; "
+                "pass an explicit seed or inject a registry stream"
+            )
+        if func.attr == "SystemRandom":
+            return "random.SystemRandom is nondeterministic by construction"
+        return ""
+
+    def _violation(self, context: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=str(context.path),
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=message,
+        )

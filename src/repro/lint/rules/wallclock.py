@@ -1,0 +1,80 @@
+"""RL001 — no wall-clock reads in simulation-scoped packages.
+
+Simulation code advances on :attr:`Simulator.now`; a single
+``time.time()`` (or worse, ``time.sleep()``) couples results to the
+host machine and breaks bit-reproducibility of E1-E12.  Monitoring /
+server code legitimately reads wall-clock (e.g. flush-latency
+self-metrics in ``monitor/sqlitestore.py``), which is why this rule is
+*scoped* to the packages that run on simulated time rather than global.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import SIM_SCOPED_PACKAGES, FileContext
+from repro.lint.registry import register
+from repro.lint.violation import Violation
+
+#: attribute accessed on one of the clock modules/classes
+_BANNED_ATTRS = {
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    },
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+@register
+class WallClockRule:
+    rule_id = "RL001"
+    title = "no wall-clock in simulation-scoped packages"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if not context.is_sim_scoped:
+            return
+        scope = ", ".join(SIM_SCOPED_PACKAGES)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.attr in _BANNED_ATTRS.get(func.value.id, ())
+                ):
+                    yield Violation(
+                        path=str(context.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"wall-clock call {func.value.id}.{func.attr}() in a "
+                            f"simulation-scoped package ({scope}); use sim time "
+                            "(Simulator.now) or an injected clock"
+                        ),
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module in _BANNED_ATTRS:
+                banned = _BANNED_ATTRS[node.module]
+                for alias in node.names:
+                    if alias.name in banned:
+                        yield Violation(
+                            path=str(context.path),
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"importing wall-clock {alias.name!r} from "
+                                f"{node.module!r} in a simulation-scoped package; "
+                                "use sim time (Simulator.now) or an injected clock"
+                            ),
+                        )

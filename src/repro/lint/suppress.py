@@ -1,0 +1,86 @@
+"""Per-line suppression comments.
+
+Syntax (one per line, after the code it excuses)::
+
+    store = MetricsStore()  # reprolint: allow[RL006] -- closed by caller
+    if x == 0.0:            # reprolint: allow[RL003] -- exact reset sentinel
+    ...                     # reprolint: allow[RL001,RL002] -- fixture code
+
+The rationale after the bracket is **mandatory**: a suppression is a
+reviewed exception to a determinism invariant, and the reason must live
+next to it.  A bare ``allow[RLxxx]`` (or an unknown rule id) is itself
+reported as RL000 so suppressions cannot rot silently.
+
+Comments are found with :mod:`tokenize`, not a substring scan, so the
+marker inside a string literal (e.g. this module's own docstring) does
+not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+_MARKER = re.compile(r"#\s*reprolint:\s*(.*)$")
+_ALLOW = re.compile(r"allow\[([A-Za-z0-9_,\s]+)\]\s*(?:--)?\s*(.*)$")
+
+#: rule id for meta problems (parse errors, suppression hygiene)
+META_RULE_ID = "RL000"
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# reprolint:`` comments for one file."""
+
+    #: line number -> set of rule ids allowed on that line
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (line, message) pairs for malformed / rationale-less suppressions
+    problems: List[Tuple[int, str]] = field(default_factory=list)
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        """True when ``rule_id`` is suppressed on ``line``."""
+        return rule_id in self.by_line.get(line, ())
+
+
+def parse_suppressions(source: str, known_rule_ids: Set[str]) -> Suppressions:
+    """Extract suppression directives (and their defects) from ``source``."""
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return result  # the parser reports the file as unreadable anyway
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        marker = _MARKER.search(token.string)
+        if marker is None:
+            continue
+        line = token.start[0]
+        directive = marker.group(1).strip()
+        allow = _ALLOW.match(directive)
+        if allow is None:
+            result.problems.append(
+                (line, f"malformed reprolint directive {directive!r}; "
+                       "expected 'allow[RLxxx] -- rationale'")
+            )
+            continue
+        ids = {part.strip() for part in allow.group(1).split(",") if part.strip()}
+        rationale = allow.group(2).strip()
+        unknown = sorted(ids - known_rule_ids)
+        if unknown:
+            result.problems.append(
+                (line, f"suppression names unknown rule(s): {', '.join(unknown)}")
+            )
+            ids &= known_rule_ids
+        if not rationale:
+            result.problems.append(
+                (line, "suppression without a rationale; write "
+                       "'# reprolint: allow[RLxxx] -- why this line is exempt'")
+            )
+            continue  # a rationale-less suppression does not suppress
+        if ids:
+            result.by_line.setdefault(line, set()).update(ids)
+    return result

@@ -1,0 +1,24 @@
+"""The one datum every rule produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, rule_id) so reports read top-to-bottom
+    per file regardless of which rule fired first.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str = field(compare=False)
+
+    def render(self) -> str:
+        """``path:line:col: RLxxx message`` — the classic lint line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

@@ -371,6 +371,26 @@ class MonitorServer:
         elif flushed:
             self.self_metrics.note_flush(time.perf_counter() - started)
 
+    def close(self) -> None:
+        """Orderly shutdown: drain queued batches, flush, close the store.
+
+        The server owns its store (it constructs one when none is
+        injected), so closing the server closes the store; store closes
+        are idempotent, so an injected store may safely be closed again
+        by its creator.
+        """
+        self.drain()
+        self.flush()
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "MonitorServer":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
     def self_metrics_document(self) -> Dict[str, Any]:
         """The ``GET /api/server`` body: self-metrics + queue + wire stats."""
         document = self.self_metrics.to_json_dict()

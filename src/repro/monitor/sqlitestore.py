@@ -33,7 +33,7 @@ import json
 import sqlite3
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.monitor.records import (
@@ -197,12 +197,31 @@ class SqliteMetricsStore:
         self._packet_buffer: List[Tuple] = []
         self._status_buffer: List[Tuple] = []
         self._oldest_pending_at: Optional[float] = None
+        self._closed = False
         self.flush_stats = FlushStats()
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
-        """Flush any buffered writes, then close the connection."""
+        """Flush any buffered writes, then close the connection.
+
+        Idempotent: a second close (e.g. an owner's ``close()`` after a
+        ``with`` block already exited) is a no-op.
+        """
+        if self._closed:
+            return
         self.flush()
         self._conn.close()
+        self._closed = True
+
+    def __enter__(self) -> "SqliteMetricsStore":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
     # -- writes ---------------------------------------------------------------
 
@@ -222,7 +241,7 @@ class SqliteMetricsStore:
         self._note_pending()
         self._flush_if_due()
 
-    def add_packet_records(self, records) -> None:
+    def add_packet_records(self, records: Iterable[PacketRecord]) -> None:
         """Buffer many packet records at once (the server's batch path)."""
         if not self._batch_writes:
             for record in records:
@@ -243,7 +262,7 @@ class SqliteMetricsStore:
         self._note_pending()
         self._flush_if_due()
 
-    def add_status_records(self, records) -> None:
+    def add_status_records(self, records: Iterable[StatusRecord]) -> None:
         """Buffer many status records at once (the server's batch path)."""
         if not self._batch_writes:
             for record in records:

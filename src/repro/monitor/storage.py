@@ -19,7 +19,7 @@ are no-ops (writes are immediately visible and nothing needs closing).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Deque, Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import StorageError
 from repro.monitor.records import Direction, PacketRecord, StatusRecord
@@ -57,12 +57,12 @@ class MetricsStore:
             self._status_by_node[record.node] = bucket
         bucket.append(record)
 
-    def add_packet_records(self, records) -> None:
+    def add_packet_records(self, records: Iterable[PacketRecord]) -> None:
         """Add many packet records (batch mirror of the SQLite store)."""
         for record in records:
             self.add_packet_record(record)
 
-    def add_status_records(self, records) -> None:
+    def add_status_records(self, records: Iterable[StatusRecord]) -> None:
         """Add many status records (batch mirror of the SQLite store)."""
         for record in records:
             self.add_status_record(record)
@@ -73,6 +73,12 @@ class MetricsStore:
 
     def close(self) -> None:
         """No-op, for API parity with the SQLite store."""
+
+    def __enter__(self) -> "MetricsStore":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
     def note_batch(self, node: int, received_at: float, dropped_records: int) -> None:
         """Record batch-level metadata (client-side loss, liveness)."""

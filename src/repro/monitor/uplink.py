@@ -20,13 +20,16 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigurationError
 from repro.mesh.node import DeliveredMessage, MeshNode
 from repro.mesh.packet import PacketType
 from repro.monitor.records import RecordBatch
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # import only for annotations; avoids a mesh<->monitor import cycle
+    from repro.mesh.endtoend import ReliableMessenger
 
 ResultCallback = Callable[[bool], None]
 
@@ -178,7 +181,7 @@ class ReliableInBandUplink(Uplink):
     fire-and-forget :class:`InBandUplink` — the T3 bench quantifies it.
     """
 
-    def __init__(self, messenger, gateway_address: int) -> None:
+    def __init__(self, messenger: "ReliableMessenger", gateway_address: int) -> None:
         super().__init__()
         if gateway_address == messenger.node.address:
             raise ConfigurationError("in-band uplink gateway cannot be the node itself")
@@ -235,12 +238,12 @@ class GatewayBridge:
 class SupportsIngestJson:  # pragma: no cover - typing helper
     """Structural interface: anything with ``ingest_json(bytes)``."""
 
-    def ingest_json(self, raw: bytes):
+    def ingest_json(self, raw: bytes) -> object:
         raise NotImplementedError
 
 
 class SupportsIngestBinary:  # pragma: no cover - typing helper
     """Structural interface: anything with ``ingest_binary(bytes)``."""
 
-    def ingest_binary(self, raw: bytes):
+    def ingest_binary(self, raw: bytes) -> object:
         raise NotImplementedError

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import html
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 try:  # optional: nicer force-directed layout when available
     import networkx
@@ -150,7 +150,7 @@ def render_html(dashboard: Dashboard, now: float) -> str:
     dashboard.alerts.evaluate(now)
     document = dashboard.to_json_dict(now)
 
-    def fmt(value, suffix="", digits=1):
+    def fmt(value: Optional[float], suffix: str = "", digits: int = 1) -> str:
         if value is None or (isinstance(value, float) and math.isnan(value)):
             return '<span class="muted">–</span>'
         return f"{value:.{digits}f}{suffix}"

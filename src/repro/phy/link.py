@@ -159,7 +159,7 @@ class LinkModel:
         if extra_db < 0:
             raise ValueError(f"extra attenuation must be >= 0 dB, got {extra_db}")
         key = self._link_key(a, b)
-        if extra_db == 0.0:
+        if extra_db == 0.0:  # reprolint: allow[RL003] -- exact 0.0 is the caller's "restore link" sentinel, not a computed float
             self._extra_attenuation.pop(key, None)
         else:
             self._extra_attenuation[key] = extra_db

@@ -177,6 +177,25 @@ class ScenarioResult:
     def node(self, address: int):
         return self.nodes[address]
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the monitoring store (idempotent).
+
+        Call when done with the result — or use the result as a context
+        manager — so buffered SQLite-backed telemetry is never dropped.
+        """
+        target = self.server if self.server is not None else self.store
+        close = getattr(target, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ScenarioResult":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
     def total_mesh_airtime_s(self) -> float:
         """Sum of transmit airtime across all mesh nodes."""
         return sum(node.mac.stats.tx_airtime_s for node in self.nodes.values())

@@ -244,6 +244,25 @@ class Scenario:
         mobility.start()
         return mobility
 
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release monitoring resources (flush + close the store).
+
+        After :meth:`run` the returned :class:`ScenarioResult` co-owns
+        the store; closes are idempotent, so either handle may close.
+        """
+        if self.server is not None:
+            self.server.close()
+        elif self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "Scenario":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
     # -- execution ----------------------------------------------------------------
 
     def run(self) -> ScenarioResult:

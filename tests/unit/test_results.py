@@ -113,3 +113,31 @@ class TestPhyCounters:
         assert (truth.phy_tx, truth.phy_rx) == (1, 1)
         assert truth.phy_collisions == 1
         assert truth.phy_below_sensitivity == 1
+
+
+class TestResultLifecycle:
+    """ScenarioResult owns the monitoring store's shutdown (RL006)."""
+
+    def _result(self, server, store):
+        from repro.scenario.results import ScenarioResult
+
+        return ScenarioResult(
+            config=None, sim=None, topology=None, link_model=None,
+            channel=None, trace=TraceLog(), nodes={}, workloads=[],
+            clients={}, uplinks={}, server=server, store=store,
+            bridge=None, truth=GroundTruth(),
+        )
+
+    def test_context_manager_closes_store_via_server(self):
+        from repro.monitor.server import MonitorServer
+        from repro.monitor.sqlitestore import SqliteMetricsStore
+
+        store = SqliteMetricsStore()
+        with self._result(MonitorServer(store=store), store):
+            assert not store.closed
+        assert store.closed
+
+    def test_close_idempotent_and_noop_without_monitoring(self):
+        result = self._result(None, None)
+        result.close()
+        result.close()

@@ -245,3 +245,25 @@ class TestPragmasAndDurability:
         reopened = SqliteMetricsStore(path)
         assert reopened.packet_record_count() == 7
         reopened.close()
+
+
+class TestLifecycle:
+    """Context-manager protocol and idempotent close (reprolint RL006)."""
+
+    def test_context_manager_flushes_and_closes(self, tmp_path):
+        path = str(tmp_path / "telemetry.db")
+        with SqliteMetricsStore(path, flush_records=10_000, flush_interval_s=None) as store:
+            store.add_packet_records([packet_record(seq=seq) for seq in range(3)])
+            assert store.pending_records == 3
+        with SqliteMetricsStore(path) as reopened:
+            assert reopened.packet_record_count() == 3
+
+    def test_close_is_idempotent(self):
+        store = SqliteMetricsStore()
+        store.close()
+        store.close()  # second close must not raise
+
+    def test_close_after_with_block_is_noop(self):
+        with SqliteMetricsStore() as store:
+            pass
+        store.close()

@@ -136,3 +136,19 @@ class TestBatchApi:
         assert store.flush() is False  # nothing is ever pending in RAM
         store.close()
         assert store.packet_record_count() == 1
+
+
+class TestLifecycle:
+    """API parity with the SQLite store's context-manager protocol."""
+
+    def test_context_manager(self):
+        with MetricsStore() as store:
+            store.add_packet_record(packet_record())
+            assert store.packet_record_count() == 1
+        # close is a no-op: data survives for post-with inspection
+        assert store.packet_record_count() == 1
+
+    def test_close_idempotent(self):
+        store = MetricsStore()
+        store.close()
+        store.close()
