@@ -3,39 +3,46 @@
 Sweeps grid deployments of 9..49 nodes (all traffic converging on the
 gateway corner, the paper's deployment shape) and regenerates the
 PDR / mean-hop-count / airtime series.
+
+The sweep is a campaign (``repro.campaign``): one axis over ``n_nodes``,
+executed across the bench worker pool with per-run derived seeds, read
+back from the aggregated report.
 """
 
 from repro.analysis.report import ExperimentReport
+from repro.campaign.spec import CampaignSpec
 from repro.monitor import metrics
 
-from benchmarks.common import cached_scenario, emit, small_monitored_config
+from benchmarks.common import (
+    cached_scenario,
+    emit,
+    point_mean,
+    run_campaign_points,
+    small_monitored_config,
+)
 
 SIZES = (9, 16, 25, 36, 49)
 
-
-def mean_route_metric(result) -> float:
-    """Average converged route metric towards the gateway."""
-    gateway = result.config.gateway
-    values = [
-        node.routes.metric(gateway)
-        for node in result.nodes.values()
-        if node.address != gateway and node.routes.metric(gateway) is not None
-    ]
-    return sum(values) / len(values) if values else float("nan")
+SPEC = CampaignSpec(
+    name="f1_pdr_vs_size",
+    base=small_monitored_config(),
+    axes={"n_nodes": list(SIZES)},
+    replicates=1,
+    master_seed=101,
+)
 
 
 def run_sweep():
     rows = []
-    for size in SIZES:
-        config = small_monitored_config(n_nodes=size)
-        result = cached_scenario(config)
+    for point in run_campaign_points(SPEC):
+        size = point["overrides"]["n_nodes"]
         rows.append({
             "n_nodes": size,
-            "msg_pdr": result.truth.msg_pdr,
-            "mean_hops": mean_route_metric(result),
-            "mean_latency_s": result.truth.mean_latency_s,
-            "airtime_per_node_s": result.total_mesh_airtime_s() / size,
-            "collisions": result.truth.phy_collisions,
+            "msg_pdr": point_mean(point, "msg_pdr"),
+            "mean_hops": point_mean(point, "mean_route_metric"),
+            "mean_latency_s": point_mean(point, "mean_latency_s"),
+            "airtime_per_node_s": point_mean(point, "airtime_per_node_s"),
+            "collisions": point_mean(point, "phy_collisions"),
         })
     return rows
 
@@ -58,7 +65,7 @@ def build_report(rows):
             f"{row['mean_hops']:.2f}",
             f"{row['mean_latency_s']:.2f}",
             f"{row['airtime_per_node_s']:.1f}",
-            row["collisions"],
+            f"{row['collisions']:.0f}",
         )
     return report
 
@@ -75,7 +82,8 @@ def test_f1_pdr_vs_size(benchmark):
     # Collisions increase with size.
     assert by_size[49]["collisions"] > by_size[9]["collisions"]
 
-    # Benchmark unit: computing the dashboard PDR matrix on the largest run.
+    # Benchmark unit: computing the dashboard PDR matrix on the largest run
+    # (a live store, so this one scenario runs outside the campaign).
     result = cached_scenario(small_monitored_config(n_nodes=49))
     benchmark(lambda: metrics.pdr_matrix(result.store))
 

@@ -6,34 +6,89 @@ parameter sweep, (b) prints the regenerated table/figure series through
 representative unit of work so ``pytest benchmarks/ --benchmark-only``
 also yields timing data.
 
+Sweeps go through the campaign subsystem (``repro.campaign``): a bench
+declares a :class:`~repro.campaign.spec.CampaignSpec` and reads per-point
+aggregates back, sharing one on-disk result cache for the pytest session
+(so benches that sweep overlapping grids reuse runs, and a re-run within
+the session replays from cache).  Benches that additionally need *live*
+handles (a store to query, a client to flush) use
+:func:`cached_scenario`, whose in-memory cache is keyed by the campaign
+cache's full-config content hash — distinct configs can no longer
+collide the way the old hand-maintained tuple key allowed.
+
 Scenario durations here are sized for laptop runs (tens of seconds per
 bench); the shapes they demonstrate are stable across longer runs.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
 import sys
-from typing import Dict
+import tempfile
+from typing import Any, Dict, List, Mapping
 
+from repro.campaign.hashing import config_digest
+from repro.campaign.scheduler import CampaignRunner
+from repro.campaign.spec import CampaignSpec
 from repro.scenario.config import MonitorMode, ScenarioConfig, WorkloadSpec
 from repro.scenario.results import ScenarioResult
 from repro.scenario.runner import run_scenario
 
-#: Cache so parametrised benches that need the same scenario reuse one run.
-_CACHE: Dict[tuple, ScenarioResult] = {}
+#: Cache so parametrised benches that need the same scenario reuse one run,
+#: keyed by the full-config content hash (every field participates).
+_CACHE: Dict[str, ScenarioResult] = {}
+
+#: One campaign result cache per bench process; removed at exit.
+_CAMPAIGN_CACHE_DIR = tempfile.TemporaryDirectory(prefix="repro-bench-campaign-")
+atexit.register(_CAMPAIGN_CACHE_DIR.cleanup)
 
 
 def cached_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Run (or reuse) the scenario for ``config``."""
-    key = (
-        config.seed, config.n_nodes, config.spreading_factor, config.protocol,
-        config.monitor_mode, config.report_interval_s, config.uplink_loss,
-        config.packet_sample_rate, config.warmup_s, config.duration_s,
-        config.workload.kind, config.workload.interval_s, config.workload.payload_bytes,
-    )
+    key = config_digest(config)
     if key not in _CACHE:
         _CACHE[key] = run_scenario(config)
     return _CACHE[key]
+
+
+def bench_workers(default: int = 0) -> int:
+    """Worker-pool size for bench sweeps.
+
+    ``BENCH_WORKERS`` overrides; otherwise use up to 4 processes when the
+    host has the cores for it.  Results are worker-count invariant, so
+    this only moves wall-clock.
+    """
+    raw = os.environ.get("BENCH_WORKERS", "")
+    if raw.strip():
+        return max(1, int(raw))
+    if default:
+        return default
+    return min(4, os.cpu_count() or 1)
+
+
+def run_campaign_points(
+    spec: CampaignSpec, workers: int = 0
+) -> List[Mapping[str, Any]]:
+    """Execute a bench's campaign and return the per-point aggregates.
+
+    Always resumes from the session cache: two benches (or a sweep and a
+    later report) sharing grid points pay for each run once.
+    """
+    runner = CampaignRunner(
+        spec,
+        cache_dir=_CAMPAIGN_CACHE_DIR.name,
+        workers=workers or bench_workers(),
+    )
+    return runner.run(resume=True)["points"]
+
+
+def point_mean(point: Mapping[str, Any], metric: str) -> float:
+    """Mean of ``metric`` at one aggregated grid point (NaN when absent)."""
+    stats = point["metrics"].get(metric)
+    if not stats or stats.get("mean") is None:
+        return float("nan")
+    return float(stats["mean"])
 
 
 def emit(report) -> None:

@@ -1,0 +1,143 @@
+"""Replicate aggregation: mean / stdev / 95 % CI and the stable report.
+
+The aggregate report is the campaign's product.  Its bytes must depend
+only on the spec and the per-run metrics — never on worker count,
+completion order, wall-clock, or host — so equality of two report files
+is the worker-invariance test.  That is why this module sorts nothing at
+render time by non-deterministic keys: points appear in grid order,
+metrics and JSON keys in sorted order, floats via Python's shortest
+round-trip ``repr`` (what ``json.dumps`` emits).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.campaign.hashing import CODE_VERSION
+
+REPORT_SCHEMA = "repro.campaign.report/1"
+
+#: Two-tailed 95 % Student-t critical values by degrees of freedom.
+#: Replicate counts are small (2..30ish), where the normal 1.96 badly
+#: understates the interval; beyond the table the normal value is used.
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+_Z95 = 1.96
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+def sample_stdev(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; needs n >= 2."""
+    count = len(values)
+    if count < 2:
+        raise ValueError("sample stdev needs at least two values")
+    center = mean(values)
+    return math.sqrt(sum((value - center) ** 2 for value in values) / (count - 1))
+
+
+def t95(df: int) -> float:
+    """95 % two-tailed Student-t critical value for ``df`` degrees of freedom."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    return _T95[df - 1] if df <= len(_T95) else _Z95
+
+
+def ci95_halfwidth(values: Sequence[float]) -> float:
+    """Half-width of the 95 % confidence interval on the mean."""
+    count = len(values)
+    if count < 2:
+        raise ValueError("a confidence interval needs at least two values")
+    return t95(count - 1) * sample_stdev(values) / math.sqrt(count)
+
+
+def metric_stats(values: Sequence[Optional[float]]) -> Dict[str, Any]:
+    """Aggregate one metric over a point's replicates.
+
+    ``None`` entries (a metric undefined for that run, e.g. latency with
+    no deliveries) are excluded; ``n`` records how many remained.
+    """
+    present = [value for value in values if value is not None]
+    stats: Dict[str, Any] = {"n": len(present)}
+    if not present:
+        stats.update(mean=None, stdev=None, ci95=None, min=None, max=None)
+        return stats
+    stats["mean"] = mean(present)
+    stats["min"] = min(present)
+    stats["max"] = max(present)
+    if len(present) >= 2:
+        stats["stdev"] = sample_stdev(present)
+        stats["ci95"] = ci95_halfwidth(present)
+    else:
+        stats["stdev"] = None
+        stats["ci95"] = None
+    return stats
+
+
+def aggregate_report(spec: Any, payloads: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    """Fold per-run payloads (keyed by digest) into the campaign report.
+
+    ``spec`` is a :class:`~repro.campaign.spec.CampaignSpec`; ``payloads``
+    maps run digest -> cache payload.  Every run the spec expands to must
+    be present — partial reports are composed by the caller filtering the
+    expansion first.
+    """
+    runs = spec.expand()
+    by_point: Dict[str, List[Mapping[str, Any]]] = {}
+    point_order: List[str] = []
+    point_overrides: Dict[str, Mapping[str, Any]] = {}
+    for run in runs:
+        if run.point_key not in by_point:
+            by_point[run.point_key] = []
+            point_order.append(run.point_key)
+            point_overrides[run.point_key] = run.overrides
+        payload = payloads.get(run.digest)
+        if payload is not None:
+            by_point[run.point_key].append(payload)
+    points = []
+    for key in point_order:
+        replicate_payloads = sorted(by_point[key], key=lambda p: p["replicate"])
+        metric_names = sorted(
+            {name for payload in replicate_payloads for name in payload["metrics"]}
+        )
+        points.append(
+            {
+                "key": key,
+                "overrides": dict(point_overrides[key]),
+                "replicates": len(replicate_payloads),
+                "run_digests": [payload["digest"] for payload in replicate_payloads],
+                "metrics": {
+                    name: metric_stats(
+                        [payload["metrics"].get(name) for payload in replicate_payloads]
+                    )
+                    for name in metric_names
+                },
+            }
+        )
+    return {
+        "schema": REPORT_SCHEMA,
+        "campaign": spec.name,
+        "code_version": CODE_VERSION,
+        "spec_digest": spec.spec_digest(),
+        "master_seed": spec.master_seed,
+        "axes": {name: list(values) for name, values in spec.axes.items()},
+        "replicates": spec.replicates,
+        "n_points": spec.n_points,
+        "n_runs": spec.n_runs,
+        "n_runs_aggregated": sum(point["replicates"] for point in points),
+        "points": points,
+    }
+
+
+def render_report_json(report: Mapping[str, Any]) -> str:
+    """The one canonical byte rendering of a report (trailing newline)."""
+    return json.dumps(report, sort_keys=True, indent=2, allow_nan=False) + "\n"

@@ -1,0 +1,82 @@
+"""On-disk result cache keyed by full-config content digests.
+
+Layout (two-level fan-out keeps directories small on big campaigns)::
+
+    <root>/
+      ab/
+        ab12...ef.json      one completed run (config + metrics)
+
+Each entry is written atomically (temp file + ``os.replace``), so a
+campaign killed mid-write never leaves a truncated entry behind — the
+next ``--resume`` simply recomputes that run.  Entries are self-checking:
+a payload whose recorded digest or schema does not match is treated as a
+miss rather than served stale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+CACHE_SCHEMA = "repro.campaign.cache/1"
+
+
+class ResultCache:
+    """Digest-addressed store of per-run metric payloads."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def has(self, digest: str) -> bool:
+        return self.path_for(digest).is_file()
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``digest``, or None on miss/corruption."""
+        path = self.path_for(digest)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA or payload.get("digest") != digest:
+            return None
+        return payload
+
+    def put(self, digest: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``digest``."""
+        payload = dict(payload)
+        payload["schema"] = CACHE_SCHEMA
+        payload["digest"] = digest
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{digest[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp, sort_keys=True, indent=2, allow_nan=False)
+                tmp.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def digests(self) -> Iterator[str]:
+        """All digests currently cached (order unspecified)."""
+        if not self.root.is_dir():
+            return
+        for entry in self.root.glob("*/*.json"):
+            yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())

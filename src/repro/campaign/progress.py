@@ -1,0 +1,99 @@
+"""Progress / ETA reporting for campaign execution.
+
+This is operator-facing plumbing, not simulation code: it reads the
+host's monotonic clock to estimate completion, which is exactly what
+RL001 bans from simulation-scoped modules.  The lint scoping therefore
+exempts this module (and the scheduler) while holding
+``repro.campaign.worker`` to the sim rules — nothing rendered here may
+feed back into results.
+
+Output goes through ``stream.write`` (carriage-return overwrite, final
+newline on :meth:`finish`), so library code stays print-free per RL005.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+def format_eta(seconds: float) -> str:
+    """``73.4`` -> ``"1m13s"`` (coarse: operators watch, machines don't)."""
+    if seconds < 0 or not seconds == seconds:  # negative or NaN
+        return "?"
+    whole = int(round(seconds))
+    if whole < 60:
+        return f"{whole}s"
+    if whole < 3600:
+        return f"{whole // 60}m{whole % 60:02d}s"
+    return f"{whole // 3600}h{(whole % 3600) // 60:02d}m"
+
+
+class ProgressReporter:
+    """Renders ``[done/total] pct cached:n elapsed eta`` lines in place.
+
+    Attributes:
+        total: run count the campaign expands to.
+        stream: where lines go (default stderr, so piped report JSON on
+            stdout stays clean).
+        clock: injected monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.monotonic,
+        enabled: bool = True,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock
+        self.enabled = enabled
+        self.done = 0
+        self.cached = 0
+        self._started_at: Optional[float] = None
+        self._computed_since_start = 0
+
+    def start(self) -> None:
+        self._started_at = self.clock()
+        self._render()
+
+    def update(self, from_cache: bool) -> None:
+        """Record one completed run (cache hit or fresh computation)."""
+        if self._started_at is None:
+            self.start()
+        self.done += 1
+        if from_cache:
+            self.cached += 1
+        else:
+            self._computed_since_start += 1
+        self._render()
+
+    def finish(self) -> None:
+        if self.enabled and self._started_at is not None:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # -- rendering -------------------------------------------------------------
+
+    def _eta_s(self) -> Optional[float]:
+        if self._started_at is None or self._computed_since_start == 0:
+            return None
+        elapsed = self.clock() - self._started_at
+        remaining = self.total - self.done
+        return elapsed / self._computed_since_start * remaining
+
+    def _render(self) -> None:
+        if not self.enabled:
+            return
+        elapsed = 0.0 if self._started_at is None else self.clock() - self._started_at
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        eta = self._eta_s()
+        line = (
+            f"\r[{self.done}/{self.total}] {pct:5.1f}%  cached:{self.cached}  "
+            f"elapsed {format_eta(elapsed)}  eta {format_eta(eta) if eta is not None else '--'}"
+        )
+        self.stream.write(line)
+        self.stream.flush()

@@ -1,0 +1,180 @@
+"""Campaign execution: planning, the worker pool, and resumption.
+
+The scheduler expands a :class:`~repro.campaign.spec.CampaignSpec`,
+consults the :class:`~repro.campaign.cache.ResultCache` for runs that
+already exist, and drives the rest through a ``multiprocessing`` pool
+(or in-process when ``workers=1`` — the two paths produce identical
+bytes, which the worker-invariance tests pin down).
+
+Completed runs are cached the moment they finish, in completion order,
+so an interrupted campaign loses at most the in-flight runs; aggregation
+happens only from the cache/result map in *grid* order, which is how the
+report stays independent of scheduling.
+
+This module is operator-side plumbing (pools, ETA callbacks): it is
+exempt from the sim-scoped lint rules, unlike
+:mod:`repro.campaign.worker` which does the actual simulating.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.campaign.aggregate import aggregate_report
+from repro.campaign.cache import ResultCache
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.campaign.worker import execute_run
+from repro.errors import CampaignStateError
+
+#: Called after each run completes: (run, from_cache).
+ProgressCallback = Callable[[RunSpec, bool], None]
+
+
+@dataclass
+class CampaignPlan:
+    """What a campaign would do right now, given the cache contents."""
+
+    runs: List[RunSpec] = field(default_factory=list)
+    cached: List[RunSpec] = field(default_factory=list)
+    missing: List[RunSpec] = field(default_factory=list)
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    @property
+    def n_cached(self) -> int:
+        return len(self.cached)
+
+    @property
+    def n_missing(self) -> int:
+        return len(self.missing)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+@dataclass
+class RunStats:
+    """What one :meth:`CampaignRunner.run` actually did."""
+
+    total: int = 0
+    computed: int = 0
+    from_cache: int = 0
+
+
+class CampaignRunner:
+    """Executes a campaign spec against a result cache.
+
+    Attributes:
+        spec: the campaign description.
+        cache: on-disk result cache (created on first write).
+        workers: pool size; 1 runs in-process with no pool at all.
+        progress: optional per-run completion callback.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        cache_dir: Union[str, Path],
+        workers: int = 1,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.spec = spec
+        self.cache = ResultCache(cache_dir)
+        self.workers = max(1, int(workers))
+        self.progress = progress
+        self.last_stats = RunStats()
+
+    # -- planning --------------------------------------------------------------
+
+    def plan(self) -> CampaignPlan:
+        """Expand the spec and split runs into cached / missing."""
+        plan = CampaignPlan()
+        for run in self.spec.expand():
+            plan.runs.append(run)
+            if self.cache.get(run.digest) is not None:
+                plan.cached.append(run)
+            else:
+                plan.missing.append(run)
+        return plan
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, resume: bool = False) -> Dict[str, Any]:
+        """Execute the campaign and return the aggregate report.
+
+        With ``resume=True`` cached runs are reused and only missing ones
+        execute; otherwise every run is recomputed (and re-cached).  The
+        report bytes are identical either way, and for any worker count.
+        """
+        plan = self.plan()
+        stats = RunStats(total=plan.n_runs)
+        results: Dict[str, Mapping[str, Any]] = {}
+        to_run: List[RunSpec] = []
+        for run in plan.runs:
+            payload = self.cache.get(run.digest) if resume else None
+            if payload is not None:
+                results[run.digest] = payload
+                stats.from_cache += 1
+                self._report_progress(run, from_cache=True)
+            else:
+                to_run.append(run)
+        for digest, payload in self._execute(to_run):
+            self.cache.put(digest, payload)
+            results[digest] = payload
+            stats.computed += 1
+        self.last_stats = stats
+        return aggregate_report(self.spec, results)
+
+    def collect(self, allow_partial: bool = False) -> Dict[str, Any]:
+        """Aggregate purely from the cache, running nothing.
+
+        Raises :class:`~repro.errors.CampaignStateError` when runs are
+        missing, unless ``allow_partial`` (points then aggregate over the
+        replicates that exist).
+        """
+        plan = self.plan()
+        if plan.missing and not allow_partial:
+            raise CampaignStateError(
+                f"campaign {self.spec.name!r}: {plan.n_missing} of {plan.n_runs} "
+                "runs not cached; execute first or pass allow_partial"
+            )
+        results: Dict[str, Mapping[str, Any]] = {}
+        for run in plan.cached:
+            payload = self.cache.get(run.digest)
+            if payload is not None:
+                results[run.digest] = payload
+        return aggregate_report(self.spec, results)
+
+    # -- internals -------------------------------------------------------------
+
+    def _report_progress(self, run: RunSpec, from_cache: bool) -> None:
+        if self.progress is not None:
+            self.progress(run, from_cache)
+
+    def _execute(self, to_run: List[RunSpec]):
+        """Yield (digest, payload) as runs complete (order unspecified)."""
+        by_digest = {run.digest: run for run in to_run}
+        if self.workers == 1 or len(to_run) <= 1:
+            for run in to_run:
+                payload = execute_run(run.to_payload())
+                self._report_progress(run, from_cache=False)
+                yield run.digest, payload
+            return
+        # fork (where available) shares the already-imported tree with the
+        # children; spawn re-imports, which works too since the worker entry
+        # point and its payloads are importable/picklable by construction.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else None)
+        processes = min(self.workers, len(to_run))
+        with context.Pool(processes=processes) as pool:
+            payloads = [run.to_payload() for run in to_run]
+            for payload in pool.imap_unordered(execute_run, payloads):
+                run = by_digest[payload["digest"]]
+                self._report_progress(run, from_cache=False)
+                yield payload["digest"], payload

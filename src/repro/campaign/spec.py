@@ -1,0 +1,332 @@
+"""Campaign specs: a base config, override axes, and replicates.
+
+A :class:`CampaignSpec` is the declarative description of a sweep.  It
+expands (:meth:`CampaignSpec.expand`) into an ordered grid of
+:class:`RunSpec` — one per (grid point x replicate) — each carrying a
+fully serialized :class:`~repro.scenario.config.ScenarioConfig` with its
+derived seed and the content digest that keys the result cache.
+
+The module also owns config (de)serialization.  ``config_to_dict`` /
+``config_from_dict`` round-trip every field of ``ScenarioConfig``
+including the nested ``MeshConfig`` / ``WorkloadSpec`` / ``MobilitySpec``
+dataclasses and the enum fields, so the cache digest covers the whole
+config by construction rather than by enumeration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Union
+
+from repro.campaign.hashing import canonical_json, config_digest, derive_seed
+from repro.errors import CampaignSpecError
+from repro.mesh.config import MeshConfig
+from repro.scenario.config import (
+    Environment,
+    MobilitySpec,
+    MonitorMode,
+    ScenarioConfig,
+    WorkloadSpec,
+)
+from repro.sim.topology import Placement
+
+
+# -- config (de)serialization --------------------------------------------------
+
+
+def _value_to_jsonable(value: Any) -> Any:
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            spec_field.name: _value_to_jsonable(getattr(value, spec_field.name))
+            for spec_field in dataclasses.fields(value)
+        }
+    return value
+
+
+def config_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
+    """Serialize a :class:`ScenarioConfig` to a JSON-ready mapping.
+
+    Walks the dataclass fields generically, so a field added to the
+    config (or to a nested spec) is serialized — and therefore hashed —
+    without anyone remembering to update a list.
+    """
+    return {
+        spec_field.name: _value_to_jsonable(getattr(config, spec_field.name))
+        for spec_field in dataclasses.fields(config)
+    }
+
+
+def _build_dataclass(cls: type, data: Mapping[str, Any], where: str) -> Any:
+    if not isinstance(data, Mapping):
+        raise CampaignSpecError(f"{where} must be a mapping, got {type(data).__name__}")
+    known = {spec_field.name for spec_field in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise CampaignSpecError(f"unknown field(s) {unknown} for {where}")
+    return cls(**dict(data))
+
+
+def config_from_dict(data: Mapping[str, Any]) -> ScenarioConfig:
+    """Rebuild a :class:`ScenarioConfig` from :func:`config_to_dict` output.
+
+    Raises :class:`~repro.errors.CampaignSpecError` on unknown fields, so
+    a typo'd axis or base key fails at spec time, not mid-campaign.
+    """
+    plain = dict(data)
+    nested: Dict[str, Any] = {}
+    if "mesh" in plain:
+        nested["mesh"] = _build_dataclass(MeshConfig, plain.pop("mesh"), "mesh")
+    if "workload" in plain:
+        nested["workload"] = _build_dataclass(WorkloadSpec, plain.pop("workload"), "workload")
+    if "mobility" in plain:
+        mobility = plain.pop("mobility")
+        nested["mobility"] = (
+            None if mobility is None else _build_dataclass(MobilitySpec, mobility, "mobility")
+        )
+    for name, enum_cls in (
+        ("placement", Placement),
+        ("environment", Environment),
+        ("monitor_mode", MonitorMode),
+    ):
+        if name in plain:
+            try:
+                nested[name] = enum_cls(plain.pop(name))
+            except ValueError as exc:
+                raise CampaignSpecError(str(exc)) from None
+    known = {spec_field.name for spec_field in dataclasses.fields(ScenarioConfig)}
+    unknown = sorted(set(plain) - known)
+    if unknown:
+        raise CampaignSpecError(f"unknown ScenarioConfig field(s) {unknown}")
+    return ScenarioConfig(**plain, **nested)
+
+
+def _apply_override(config_dict: Dict[str, Any], path: str, value: Any) -> None:
+    """Set ``path`` (dotted for nested specs, e.g. ``workload.interval_s``)
+    to ``value`` inside a serialized config."""
+    parts = path.split(".")
+    target: Any = config_dict
+    for depth, part in enumerate(parts[:-1]):
+        if not isinstance(target, dict) or part not in target:
+            raise CampaignSpecError(f"axis {path!r}: no such config field {part!r}")
+        target = target[part]
+        if not isinstance(target, dict):
+            joined = ".".join(parts[: depth + 1])
+            raise CampaignSpecError(
+                f"axis {path!r}: {joined!r} is not a nested spec (is it None? "
+                "sweep the whole sub-spec as a mapping value instead)"
+            )
+    leaf = parts[-1]
+    if leaf not in target:
+        raise CampaignSpecError(f"axis {path!r}: no such config field {leaf!r}")
+    target[leaf] = value
+
+
+# -- the spec ------------------------------------------------------------------
+
+
+SPEC_SCHEMA = "repro.campaign.spec/1"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified run: a grid point at one replicate index."""
+
+    point_index: int
+    point_key: str
+    replicate: int
+    overrides: Mapping[str, Any]
+    seed: int
+    config_dict: Mapping[str, Any]
+    digest: str
+
+    def config(self) -> ScenarioConfig:
+        return config_from_dict(self.config_dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Picklable/JSON-able form shipped to pool workers."""
+        return {
+            "point_index": self.point_index,
+            "point_key": self.point_key,
+            "replicate": self.replicate,
+            "overrides": dict(self.overrides),
+            "seed": self.seed,
+            "config": dict(self.config_dict),
+            "digest": self.digest,
+        }
+
+
+def point_key_for(overrides: Mapping[str, Any]) -> str:
+    """Stable human-readable identity of a grid point.
+
+    Rendered from the overrides in axis order with canonical-JSON values,
+    e.g. ``"n_nodes=25,workload.interval_s=60.0"``.  This string feeds
+    :func:`~repro.campaign.hashing.derive_seed`, so its stability is part
+    of the determinism contract.
+    """
+    return ",".join(f"{name}={canonical_json(value)}" for name, value in overrides.items())
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative sweep: base config + override axes + replicates.
+
+    Attributes:
+        name: campaign identity, used in reports and file names.
+        base: the :class:`ScenarioConfig` every point starts from (a
+            partial mapping is merged over config defaults).
+        axes: ordered mapping of config field (dotted for nested specs)
+            to the list of values to sweep.  The grid is the cartesian
+            product in insertion order.
+        replicates: seed replicates per grid point.
+        master_seed: root of every derived per-run seed.
+    """
+
+    name: str
+    base: Union[ScenarioConfig, Mapping[str, Any]] = field(default_factory=ScenarioConfig)
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    replicates: int = 1
+    master_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignSpecError("campaign name must be non-empty")
+        if self.replicates < 1:
+            raise CampaignSpecError(f"replicates must be >= 1, got {self.replicates}")
+        if isinstance(self.base, ScenarioConfig):
+            self._base_dict = config_to_dict(self.base)
+        else:
+            self._base_dict = config_to_dict(ScenarioConfig())
+            for key, value in dict(self.base).items():
+                if (
+                    isinstance(value, Mapping)
+                    and key in self._base_dict
+                    and isinstance(self._base_dict[key], dict)
+                ):
+                    merged = dict(self._base_dict[key])
+                    merged.update(value)
+                    value = merged
+                _apply_override(self._base_dict, key, value)
+            config_from_dict(self._base_dict)  # validate merged base eagerly
+        axes: Dict[str, List[Any]] = {}
+        for axis, values in dict(self.axes).items():
+            if axis == "seed":
+                raise CampaignSpecError(
+                    "'seed' cannot be an axis: per-run seeds derive from "
+                    "master_seed x point x replicate (set master_seed instead)"
+                )
+            values = list(values)
+            if not values:
+                raise CampaignSpecError(f"axis {axis!r} has no values")
+            if len(values) != len({canonical_json(v) for v in values}):
+                raise CampaignSpecError(f"axis {axis!r} has duplicate values")
+            axes[axis] = values
+        self.axes = axes
+
+    # -- derived shape ---------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    @property
+    def n_runs(self) -> int:
+        return self.n_points * self.replicates
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Yield each grid point's overrides, in grid order (cartesian
+        product of the axes in insertion order, last axis fastest)."""
+        names = list(self.axes.keys())
+        if not names:
+            yield {}
+            return
+        for combo in itertools.product(*(self.axes[name] for name in names)):
+            yield dict(zip(names, combo))
+
+    def expand(self) -> List[RunSpec]:
+        """The full ordered grid of runs (validates every point config)."""
+        runs: List[RunSpec] = []
+        for point_index, overrides in enumerate(self.points()):
+            key = point_key_for(overrides)
+            point_dict = json.loads(canonical_json(self._base_dict))
+            for path, value in overrides.items():
+                _apply_override(point_dict, path, value)
+            for replicate in range(self.replicates):
+                seed = derive_seed(self.master_seed, key, replicate)
+                run_dict = dict(point_dict)
+                run_dict["seed"] = seed
+                config_from_dict(run_dict)  # validate: bad combos fail at expand time
+                runs.append(
+                    RunSpec(
+                        point_index=point_index,
+                        point_key=key,
+                        replicate=replicate,
+                        overrides=overrides,
+                        seed=seed,
+                        config_dict=run_dict,
+                        digest=config_digest(run_dict),
+                    )
+                )
+        return runs
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def base_dict(self) -> Dict[str, Any]:
+        """The merged, fully-populated base config as a mapping."""
+        return json.loads(canonical_json(self._base_dict))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SPEC_SCHEMA,
+            "name": self.name,
+            "base": self.base_dict(),
+            "axes": {name: list(values) for name, values in self.axes.items()},
+            "replicates": self.replicates,
+            "master_seed": self.master_seed,
+        }
+
+    def spec_digest(self) -> str:
+        """Content hash of the whole spec (stamped into reports)."""
+        return config_digest(self.to_dict(), salt="spec")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        if not isinstance(data, Mapping):
+            raise CampaignSpecError(f"campaign spec must be a mapping, got {type(data).__name__}")
+        schema = data.get("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise CampaignSpecError(f"unsupported campaign spec schema {schema!r}")
+        unknown = sorted(set(data) - {"schema", "name", "base", "axes", "replicates", "master_seed"})
+        if unknown:
+            raise CampaignSpecError(f"unknown campaign spec key(s) {unknown}")
+        try:
+            name = data["name"]
+        except KeyError:
+            raise CampaignSpecError("campaign spec needs a 'name'") from None
+        return cls(
+            name=name,
+            base=data.get("base", {}),
+            axes=data.get("axes", {}),
+            replicates=int(data.get("replicates", 1)),
+            master_seed=int(data.get("master_seed", 1)),
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "CampaignSpec":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise CampaignSpecError(f"cannot read campaign spec {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CampaignSpecError(f"campaign spec {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

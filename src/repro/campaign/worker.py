@@ -1,0 +1,94 @@
+"""Campaign worker: executes one fully-specified run, returns metrics.
+
+This module runs *inside pool workers* and on the in-process fast path.
+It is simulation-scoped code: everything here advances on simulated time
+and derived seeds — wall-clock reads or unseeded RNG would break the
+byte-identical-across-worker-counts contract, so reprolint applies RL001
+to this module (see ``repro.lint.context``), unlike the scheduler and
+progress modules around it.
+
+The function shipped across the process boundary
+(:func:`execute_run`) takes and returns plain JSON-able dicts, so it is
+picklable under both fork and spawn start methods and its output can be
+written to the result cache verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Mapping, Optional
+
+from repro.campaign.spec import config_from_dict
+from repro.scenario.results import ScenarioResult
+from repro.scenario.runner import run_scenario
+
+
+def _finite(value: float) -> Optional[float]:
+    """NaN/inf -> None: reports are strict JSON and NaN never aggregates."""
+    number = float(value)
+    return number if math.isfinite(number) else None
+
+
+def standard_metrics(result: ScenarioResult) -> Dict[str, Optional[float]]:
+    """The fixed per-run metric set every campaign records.
+
+    Only scalars derived from the simulation state — deterministic given
+    the config — belong here.  Keys are stable: reports aggregate them by
+    name and the benches index into them.
+    """
+    config = result.config
+    truth = result.truth
+    n_nodes = config.n_nodes
+    wall_s = config.warmup_s + config.duration_s
+    gateway = config.gateway
+    route_metrics = [
+        node.routes.metric(gateway)
+        for node in result.nodes.values()
+        if node.address != gateway and node.routes.metric(gateway) is not None
+    ]
+    mean_route_metric = (
+        sum(route_metrics) / len(route_metrics) if route_metrics else math.nan
+    )
+    batches_sent = sum(client.stats.batches_sent for client in result.clients.values())
+    energy = result.energy_by_node()
+    metrics: Dict[str, float] = {
+        "msg_pdr": truth.msg_pdr,
+        "frag_pdr": truth.frag_pdr,
+        "mean_latency_s": truth.mean_latency_s,
+        "msg_sent": float(truth.total_msg_sent),
+        "msg_delivered": float(truth.total_msg_delivered),
+        "phy_tx": float(truth.phy_tx),
+        "phy_collisions": float(truth.phy_collisions),
+        "mean_route_metric": mean_route_metric,
+        "airtime_total_s": result.total_mesh_airtime_s(),
+        "airtime_per_node_s": result.total_mesh_airtime_s() / n_nodes,
+        "mesh_tx_bytes": float(result.total_mesh_tx_bytes()),
+        "uplink_bytes_total": float(result.uplink_bytes_total()),
+        "uplink_bytes_per_node_per_s": result.uplink_bytes_total() / wall_s / n_nodes,
+        "batches_sent": float(batches_sent),
+        "batches_per_node_per_h": batches_sent / (wall_s / 3600.0) / n_nodes,
+        "records_captured": float(result.telemetry_records_captured()),
+        "records_stored": float(result.telemetry_records_stored()),
+        "telemetry_delivery_ratio": result.telemetry_delivery_ratio(),
+        "energy_mean_mah": sum(energy.values()) / n_nodes if energy else math.nan,
+    }
+    return {name: _finite(value) for name, value in metrics.items()}
+
+
+def execute_run(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one grid point replicate described by a :class:`RunSpec` payload.
+
+    Returns the cache-ready result payload (identity fields + metrics).
+    """
+    config = config_from_dict(payload["config"])
+    with run_scenario(config) as result:
+        metrics = standard_metrics(result)
+    return {
+        "point_index": payload["point_index"],
+        "point_key": payload["point_key"],
+        "replicate": payload["replicate"],
+        "seed": payload["seed"],
+        "digest": payload["digest"],
+        "config": dict(payload["config"]),
+        "metrics": metrics,
+    }

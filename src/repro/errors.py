@@ -55,3 +55,12 @@ class IngestError(ReproError):
 
 class LintConfigError(ReproError):
     """reprolint was configured with unknown rules or unusable paths."""
+
+
+class CampaignSpecError(ConfigurationError):
+    """A campaign spec is malformed (bad axes, base fields, or replicates)."""
+
+
+class CampaignStateError(ReproError):
+    """A campaign operation needs state that is not there (e.g. a report
+    over an incomplete cache without ``allow_partial``)."""

@@ -27,6 +27,14 @@ SIM_SCOPED_PACKAGES: Tuple[str, ...] = (
     "baselines",
 )
 
+#: modules of ``repro.campaign`` that execute simulation work.  The
+#: campaign package straddles the boundary: ``worker`` runs scenarios on
+#: simulated time inside pool processes (wall-clock there would break
+#: the byte-identical-across-worker-counts contract), while the
+#: scheduler/progress/cli side legitimately reads the host clock for
+#: ETA lines — so scoping is per-module, not per-package.
+CAMPAIGN_SIM_MODULES: Tuple[str, ...] = ("worker",)
+
 
 def module_name_for(path: Path) -> Optional[str]:
     """Dotted module name for ``path``, or None for a loose script.
@@ -94,5 +102,10 @@ class FileContext:
 
     @property
     def is_sim_scoped(self) -> bool:
-        """Inside a package whose code runs on simulated time."""
-        return self.in_subpackages(*SIM_SCOPED_PACKAGES)
+        """Inside a package (or campaign module) that runs on simulated time."""
+        if self.in_subpackages(*SIM_SCOPED_PACKAGES):
+            return True
+        if self.repro_subpackage == "campaign":
+            parts = (self.module or "").split(".")
+            return len(parts) > 2 and parts[2] in CAMPAIGN_SIM_MODULES
+        return False

@@ -1,0 +1,159 @@
+"""Integration tests for campaign execution.
+
+The load-bearing contract: the same spec produces *byte-identical*
+aggregate JSON at any worker count, and resuming an interrupted campaign
+recomputes only what is missing while leaving the report bytes
+unchanged.  Scenarios here are deliberately tiny (seconds of simulated
+time, a handful of nodes) — the contract is scale-free.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.aggregate import render_report_json
+from repro.campaign.cli import EXIT_ERROR, EXIT_OK, main
+from repro.campaign.scheduler import CampaignRunner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.worker import execute_run
+from repro.errors import CampaignStateError
+
+
+def tiny_spec(**kwargs):
+    base = dict(
+        name="itest",
+        base={
+            "n_nodes": 4,
+            "warmup_s": 30.0,
+            "duration_s": 90.0,
+            "cooldown_s": 15.0,
+            "workload": {"kind": "periodic", "interval_s": 20.0, "payload_bytes": 8},
+        },
+        axes={"n_nodes": [4, 5], "spreading_factor": [7, 8]},
+        replicates=2,
+        master_seed=77,
+    )
+    base.update(kwargs)
+    return CampaignSpec(**base)
+
+
+class TestWorkerInvariance:
+    def test_worker_counts_produce_identical_bytes(self, tmp_path):
+        spec = tiny_spec()
+        serial = CampaignRunner(spec, tmp_path / "w1", workers=1).run()
+        pooled = CampaignRunner(spec, tmp_path / "w4", workers=4).run()
+        assert render_report_json(serial) == render_report_json(pooled)
+
+    def test_resume_replays_identical_bytes(self, tmp_path):
+        spec = tiny_spec()
+        runner = CampaignRunner(spec, tmp_path / "cache", workers=2)
+        first = runner.run()
+        assert runner.last_stats.computed == spec.n_runs
+        replay = runner.run(resume=True)
+        assert runner.last_stats.computed == 0
+        assert runner.last_stats.from_cache == spec.n_runs
+        assert render_report_json(first) == render_report_json(replay)
+
+
+class TestResume:
+    def test_interrupted_campaign_recomputes_only_missing(self, tmp_path):
+        spec = tiny_spec()
+        runner = CampaignRunner(spec, tmp_path / "cache", workers=1)
+        complete = runner.run()
+        # "interrupt": drop three runs from the cache
+        victims = [run.digest for run in spec.expand()][::3]
+        for digest in victims:
+            runner.cache.path_for(digest).unlink()
+        plan = runner.plan()
+        assert plan.n_missing == len(victims)
+        resumed = runner.run(resume=True)
+        assert runner.last_stats.computed == len(victims)
+        assert runner.last_stats.from_cache == spec.n_runs - len(victims)
+        assert render_report_json(resumed) == render_report_json(complete)
+
+    def test_spec_edit_is_incremental(self, tmp_path):
+        narrow = tiny_spec(axes={"n_nodes": [4, 5]})
+        runner = CampaignRunner(narrow, tmp_path / "cache", workers=1)
+        runner.run()
+        # widening an axis reuses every already-computed point
+        wide = tiny_spec(axes={"n_nodes": [4, 5, 6]})
+        wide_runner = CampaignRunner(wide, tmp_path / "cache", workers=1)
+        wide_runner.run(resume=True)
+        assert wide_runner.last_stats.from_cache == narrow.n_runs
+        assert wide_runner.last_stats.computed == wide.n_runs - narrow.n_runs
+
+    def test_collect_requires_complete_cache(self, tmp_path):
+        spec = tiny_spec(axes={"n_nodes": [4]}, replicates=1)
+        runner = CampaignRunner(spec, tmp_path / "cache")
+        with pytest.raises(CampaignStateError, match="not cached"):
+            runner.collect()
+        report = runner.collect(allow_partial=True)
+        assert report["n_runs_aggregated"] == 0
+        runner.run()
+        assert runner.collect()["n_runs_aggregated"] == spec.n_runs
+
+
+class TestWorkerEntry:
+    def test_execute_run_payload_round_trip(self):
+        spec = tiny_spec(axes={"n_nodes": [4]}, replicates=1)
+        run = spec.expand()[0]
+        payload = execute_run(run.to_payload())
+        assert payload["digest"] == run.digest
+        assert payload["replicate"] == 0
+        metrics = payload["metrics"]
+        assert 0.0 <= metrics["msg_pdr"] <= 1.0
+        assert metrics["phy_tx"] > 0
+        # cache payloads must be strict JSON (no NaN leaks)
+        json.dumps(payload, allow_nan=False)
+
+
+class TestCli:
+    def write_spec(self, tmp_path, spec):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        return str(path)
+
+    def test_run_status_report_cycle(self, tmp_path, capsys):
+        spec_path = self.write_spec(tmp_path, tiny_spec(axes={"n_nodes": [4, 5]}, replicates=1))
+        cache_dir = str(tmp_path / "cache")
+        out1 = str(tmp_path / "report1.json")
+        out2 = str(tmp_path / "report2.json")
+
+        assert main(["status", spec_path, "--cache-dir", cache_dir, "--json"]) == EXIT_OK
+        status = json.loads(capsys.readouterr().out)
+        assert status["missing"] == 2 and not status["complete"]
+
+        assert main([
+            "run", spec_path, "--cache-dir", cache_dir, "--workers", "2",
+            "--out", out1, "--quiet",
+        ]) == EXIT_OK
+        capsys.readouterr()
+
+        assert main(["status", spec_path, "--cache-dir", cache_dir, "--json"]) == EXIT_OK
+        status = json.loads(capsys.readouterr().out)
+        assert status["complete"] and status["cached"] == 2
+
+        assert main([
+            "run", spec_path, "--cache-dir", cache_dir, "--resume",
+            "--out", out2, "--quiet",
+        ]) == EXIT_OK
+        output = capsys.readouterr().out
+        assert "executed 0 run(s), reused 2 cached" in output
+        with open(out1) as f1, open(out2) as f2:
+            assert f1.read() == f2.read()
+
+        assert main(["report", spec_path, "--cache-dir", cache_dir, "--json"]) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["campaign"] == "itest"
+        assert report["n_runs_aggregated"] == 2
+
+    def test_report_on_cold_cache_fails(self, tmp_path, capsys):
+        spec_path = self.write_spec(tmp_path, tiny_spec(axes={"n_nodes": [4]}, replicates=1))
+        code = main(["report", spec_path, "--cache-dir", str(tmp_path / "cold")])
+        assert code == EXIT_ERROR
+        assert "not cached" in capsys.readouterr().err
+
+    def test_missing_spec_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["run", str(tmp_path / "nope.json"), "--cache-dir", str(tmp_path)])
+        assert code == EXIT_ERROR
+        assert "cannot read campaign spec" in capsys.readouterr().err

@@ -1,0 +1,383 @@
+"""Unit tests for the campaign subsystem: spec expansion, config
+round-tripping, seed derivation, content hashing, the result cache,
+CI math, aggregation, and progress rendering."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.campaign.aggregate import (
+    aggregate_report,
+    ci95_halfwidth,
+    mean,
+    metric_stats,
+    render_report_json,
+    sample_stdev,
+    t95,
+)
+from repro.campaign.cache import ResultCache
+from repro.campaign.hashing import CODE_VERSION, canonical_json, config_digest, derive_seed
+from repro.campaign.progress import ProgressReporter, format_eta
+from repro.campaign.spec import (
+    CampaignSpec,
+    config_from_dict,
+    config_to_dict,
+    point_key_for,
+)
+from repro.errors import CampaignSpecError
+from repro.scenario.config import (
+    Environment,
+    MobilitySpec,
+    MonitorMode,
+    ScenarioConfig,
+    WorkloadSpec,
+)
+from repro.sim.topology import Placement
+
+
+def tiny_config(**overrides):
+    base = dict(
+        n_nodes=4,
+        warmup_s=30.0,
+        duration_s=60.0,
+        cooldown_s=10.0,
+        workload=WorkloadSpec(kind="periodic", interval_s=20.0, payload_bytes=8),
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+class TestConfigRoundTrip:
+    def test_default_round_trips(self):
+        config = ScenarioConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_nested_and_enum_fields_round_trip(self):
+        config = ScenarioConfig(
+            placement=Placement.UNIFORM,
+            environment=Environment.URBAN,
+            monitor_mode=MonitorMode.IN_BAND,
+            workload=WorkloadSpec(kind="poisson", rate_per_s=0.5),
+            mobility=MobilitySpec(fraction_mobile=0.5, speed_mps=2.0),
+        )
+        data = config_to_dict(config)
+        # serialized form is pure JSON types
+        json.dumps(data)
+        assert data["placement"] == "uniform"
+        assert data["monitor_mode"] == "inband"
+        assert data["mobility"]["speed_mps"] == 2.0
+        assert config_from_dict(data) == config
+
+    def test_unknown_field_rejected(self):
+        data = config_to_dict(ScenarioConfig())
+        data["spreading_facto"] = 9
+        with pytest.raises(CampaignSpecError, match="spreading_facto"):
+            config_from_dict(data)
+
+    def test_unknown_nested_field_rejected(self):
+        data = config_to_dict(ScenarioConfig())
+        data["workload"]["intervall_s"] = 10.0
+        with pytest.raises(CampaignSpecError, match="intervall_s"):
+            config_from_dict(data)
+
+    def test_bad_enum_value_rejected(self):
+        data = config_to_dict(ScenarioConfig())
+        data["monitor_mode"] = "carrier-pigeon"
+        with pytest.raises(CampaignSpecError):
+            config_from_dict(data)
+
+
+class TestHashing:
+    def test_digest_stable_for_equal_configs(self):
+        assert config_digest(tiny_config()) == config_digest(tiny_config())
+
+    def test_digest_covers_every_field(self):
+        # Mutate each top-level field; the digest must move every time.
+        # (The old bench tuple key missed e.g. mobility — this is the
+        # collision class the content hash removes.)
+        base = tiny_config()
+        base_digest = config_digest(base)
+        variants = [
+            tiny_config(seed=2),
+            tiny_config(mobility=MobilitySpec()),
+            tiny_config(uplink_loss=0.1),
+            tiny_config(tx_power_dbm=10.0),
+            tiny_config(workload=WorkloadSpec(kind="periodic", interval_s=21.0, payload_bytes=8)),
+            tiny_config(environment=Environment.URBAN),
+        ]
+        digests = {config_digest(variant) for variant in variants}
+        assert base_digest not in digests
+        assert len(digests) == len(variants)
+
+    def test_salt_changes_digest(self):
+        config = tiny_config()
+        assert config_digest(config) != config_digest(config, salt="other-code-version")
+        assert CODE_VERSION  # the default salt is a non-empty marker
+
+    def test_canonical_json_is_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == canonical_json({"a": [1, 2], "b": 1})
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": math.nan})
+
+    def test_derive_seed_deterministic_and_spread(self):
+        seed = derive_seed(42, "n_nodes=9", 0)
+        assert seed == derive_seed(42, "n_nodes=9", 0)
+        others = {
+            derive_seed(42, "n_nodes=9", 1),
+            derive_seed(42, "n_nodes=16", 0),
+            derive_seed(43, "n_nodes=9", 0),
+        }
+        assert seed not in others
+        assert len(others) == 3
+        assert 0 <= seed < 2**63
+
+
+class TestSpecExpansion:
+    def spec(self, **kwargs):
+        base = dict(
+            name="t",
+            base=tiny_config(),
+            axes={"n_nodes": [4, 5], "spreading_factor": [7, 8]},
+            replicates=2,
+            master_seed=9,
+        )
+        base.update(kwargs)
+        return CampaignSpec(**base)
+
+    def test_grid_shape(self):
+        spec = self.spec()
+        assert spec.n_points == 4
+        assert spec.n_runs == 8
+        runs = spec.expand()
+        assert len(runs) == 8
+        # grid order: last axis fastest, replicates innermost
+        keys = [run.point_key for run in runs]
+        assert keys[0] == keys[1] == "n_nodes=4,spreading_factor=7"
+        assert keys[2] == "n_nodes=4,spreading_factor=8"
+        assert keys[-1] == "n_nodes=5,spreading_factor=8"
+        assert [run.replicate for run in runs[:4]] == [0, 1, 0, 1]
+
+    def test_runs_carry_derived_seeds_and_digests(self):
+        runs = self.spec().expand()
+        seeds = {run.seed for run in runs}
+        digests = {run.digest for run in runs}
+        assert len(seeds) == len(runs)  # every run gets its own seed
+        assert len(digests) == len(runs)
+        first = runs[0]
+        assert first.seed == derive_seed(9, first.point_key, 0)
+        assert first.config_dict["seed"] == first.seed
+        assert first.config().n_nodes == 4
+
+    def test_point_key_uses_canonical_values(self):
+        assert point_key_for({"a": 1.5, "b": "x"}) == 'a=1.5,b="x"'
+
+    def test_adding_an_axis_value_keeps_existing_seeds(self):
+        old = {(r.point_key, r.replicate): r.seed for r in self.spec().expand()}
+        widened = self.spec(axes={"n_nodes": [4, 5, 6], "spreading_factor": [7, 8]})
+        new = {(r.point_key, r.replicate): r.seed for r in widened.expand()}
+        for identity, seed in old.items():
+            assert new[identity] == seed
+
+    def test_dotted_axis_reaches_nested_spec(self):
+        spec = self.spec(axes={"workload.interval_s": [10.0, 20.0]})
+        runs = spec.expand()
+        assert [run.config().workload.interval_s for run in runs[::2]] == [10.0, 20.0]
+
+    def test_partial_base_mapping_merges_over_defaults(self):
+        spec = CampaignSpec(name="t", base={"n_nodes": 6, "workload": {"interval_s": 11.0}})
+        merged = spec.base_dict()
+        assert merged["n_nodes"] == 6
+        assert merged["workload"]["interval_s"] == 11.0
+        # untouched nested defaults survive the merge
+        assert merged["workload"]["payload_bytes"] == WorkloadSpec().payload_bytes
+
+    def test_bad_axis_field_rejected(self):
+        with pytest.raises(CampaignSpecError, match="no such config field"):
+            self.spec(axes={"n_node": [4, 5]}).expand()
+
+    def test_seed_axis_forbidden(self):
+        with pytest.raises(CampaignSpecError, match="master_seed"):
+            self.spec(axes={"seed": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(CampaignSpecError, match="no values"):
+            self.spec(axes={"n_nodes": []})
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(CampaignSpecError, match="duplicate"):
+            self.spec(axes={"n_nodes": [4, 4]})
+
+    def test_replicates_must_be_positive(self):
+        with pytest.raises(CampaignSpecError):
+            self.spec(replicates=0)
+
+    def test_spec_round_trips_through_dict(self):
+        spec = self.spec()
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert clone.to_dict() == spec.to_dict()
+        assert clone.spec_digest() == spec.spec_digest()
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.spec().to_dict()))
+        assert CampaignSpec.from_file(path).n_runs == 8
+        with pytest.raises(CampaignSpecError):
+            CampaignSpec.from_file(tmp_path / "absent.json")
+
+    def test_unknown_spec_key_rejected(self):
+        data = self.spec().to_dict()
+        data["replicate"] = 3
+        with pytest.raises(CampaignSpecError, match="replicate"):
+            CampaignSpec.from_dict(data)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        digest = "ab" + "0" * 62
+        assert cache.get(digest) is None
+        cache.put(digest, {"metrics": {"x": 1.5}, "replicate": 0})
+        payload = cache.get(digest)
+        assert payload["metrics"] == {"x": 1.5}
+        assert cache.has(digest)
+        assert list(cache.digests()) == [digest]
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = "cd" + "1" * 62
+        cache.put(digest, {"metrics": {}})
+        cache.path_for(digest).write_text("{ truncated")
+        assert cache.get(digest) is None
+
+    def test_digest_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest_a = "ab" + "2" * 62
+        digest_b = "ab" + "3" * 62
+        cache.put(digest_a, {"metrics": {}})
+        cache.path_for(digest_b).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(digest_b).write_text(cache.path_for(digest_a).read_text())
+        assert cache.get(digest_b) is None  # entry says digest_a inside
+
+
+class TestCiMath:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_stdev(self):
+        # classic textbook set: stdev of [2,4,4,4,5,5,7,9] with n-1 is ~2.138
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert sample_stdev(values) == pytest.approx(2.13809, rel=1e-4)
+        with pytest.raises(ValueError):
+            sample_stdev([1.0])
+
+    def test_t95_table(self):
+        assert t95(1) == pytest.approx(12.706)
+        assert t95(9) == pytest.approx(2.262)
+        assert t95(30) == pytest.approx(2.042)
+        assert t95(1000) == pytest.approx(1.96)
+        with pytest.raises(ValueError):
+            t95(0)
+
+    def test_ci95_known_value(self):
+        values = [10.0, 12.0, 14.0]  # mean 12, stdev 2, n 3 -> 4.303*2/sqrt(3)
+        assert ci95_halfwidth(values) == pytest.approx(4.303 * 2.0 / math.sqrt(3.0), rel=1e-6)
+
+    def test_metric_stats_handles_missing_values(self):
+        stats = metric_stats([1.0, None, 3.0])
+        assert stats["n"] == 2
+        assert stats["mean"] == 2.0
+        assert stats["stdev"] == pytest.approx(math.sqrt(2.0))
+        empty = metric_stats([None, None])
+        assert empty["n"] == 0 and empty["mean"] is None
+
+    def test_metric_stats_single_value(self):
+        stats = metric_stats([5.0])
+        assert stats == {"n": 1, "mean": 5.0, "min": 5.0, "max": 5.0, "stdev": None, "ci95": None}
+
+
+class TestAggregateReport:
+    def fake_results(self, spec):
+        payloads = {}
+        for run in spec.expand():
+            payloads[run.digest] = {
+                "digest": run.digest,
+                "replicate": run.replicate,
+                "metrics": {"msg_pdr": 0.9 + 0.01 * run.replicate},
+            }
+        return payloads
+
+    def test_report_shape_and_determinism(self):
+        spec = CampaignSpec(
+            name="agg", base=tiny_config(), axes={"n_nodes": [4, 5]},
+            replicates=2, master_seed=3,
+        )
+        payloads = self.fake_results(spec)
+        report = aggregate_report(spec, payloads)
+        assert report["schema"] == "repro.campaign.report/1"
+        assert report["n_points"] == 2
+        assert report["n_runs"] == report["n_runs_aggregated"] == 4
+        assert [point["key"] for point in report["points"]] == ["n_nodes=4", "n_nodes=5"]
+        point = report["points"][0]
+        assert point["replicates"] == 2
+        assert point["metrics"]["msg_pdr"]["mean"] == pytest.approx(0.905)
+        # byte-determinism: rebuilding from the same payloads is identical,
+        # regardless of payload-dict insertion order
+        reversed_payloads = dict(reversed(list(payloads.items())))
+        assert render_report_json(report) == render_report_json(
+            aggregate_report(spec, reversed_payloads)
+        )
+
+    def test_missing_runs_shrink_aggregation_counts(self):
+        spec = CampaignSpec(
+            name="agg", base=tiny_config(), axes={"n_nodes": [4, 5]},
+            replicates=2, master_seed=3,
+        )
+        payloads = self.fake_results(spec)
+        dropped = spec.expand()[0].digest
+        del payloads[dropped]
+        report = aggregate_report(spec, payloads)
+        assert report["n_runs_aggregated"] == 3
+        assert report["points"][0]["replicates"] == 1
+
+
+class TestProgress:
+    def test_format_eta(self):
+        assert format_eta(5.4) == "5s"
+        assert format_eta(73.0) == "1m13s"
+        assert format_eta(3700.0) == "1h01m"
+        assert format_eta(float("nan")) == "?"
+
+    def test_reporter_renders_counts_and_eta(self):
+        stream = io.StringIO()
+        clock_value = [0.0]
+
+        def clock():
+            return clock_value[0]
+
+        reporter = ProgressReporter(total=4, stream=stream, clock=clock)
+        reporter.start()
+        reporter.update(from_cache=True)
+        clock_value[0] = 2.0
+        reporter.update(from_cache=False)
+        reporter.finish()
+        output = stream.getvalue()
+        assert "[2/4]" in output
+        assert "cached:1" in output
+        # one computed run took 2s; two remain -> eta 4s
+        assert "eta 4s" in output
+        assert output.endswith("\n")
+
+    def test_disabled_reporter_is_silent(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(total=2, stream=stream, enabled=False)
+        reporter.start()
+        reporter.update(from_cache=False)
+        reporter.finish()
+        assert stream.getvalue() == ""

@@ -96,6 +96,33 @@ class TestRL001WallClock:
         )
         assert violations == []
 
+    def test_campaign_worker_sim_scoped(self, tmp_path):
+        # The campaign worker executes scenarios: wall-clock there would
+        # couple cached results to the host, so RL001 applies.
+        violations = lint_source(
+            tmp_path,
+            "repro/campaign/worker.py",
+            """
+            import time
+            started = time.monotonic()
+            """,
+        )
+        assert rule_ids(violations) == ["RL001"]
+
+    def test_campaign_scheduler_and_progress_exempt(self, tmp_path):
+        # Scheduler/progress are operator-side plumbing: ETA lines read
+        # the host clock by design and never feed back into results.
+        for module in ("scheduler", "progress"):
+            violations = lint_source(
+                tmp_path,
+                f"repro/campaign/{module}.py",
+                """
+                import time
+                started = time.monotonic()
+                """,
+            )
+            assert violations == [], module
+
 
 class TestRL002GlobalRng:
     def test_global_draw_flagged(self, tmp_path):
