@@ -75,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--quiet", action="store_true", help="suppress progress/ETA lines"
     )
+    run.add_argument(
+        "--trace-dir",
+        help="write per-run NDJSON flight-recorder captures here (only runs "
+        "whose config sets capture_trace, e.g. via an axis, produce files; "
+        "inspect them with repro-trace)",
+    )
 
     status = sub.add_parser("status", help="show cached vs missing runs")
     _add_common(status)
@@ -167,6 +173,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         workers=args.workers,
         progress=lambda run, from_cache: reporter.update(from_cache),
+        trace_dir=args.trace_dir,
     )
     reporter.start()
     try:

@@ -83,11 +83,15 @@ class CampaignRunner:
         cache_dir: Union[str, Path],
         workers: int = 1,
         progress: Optional[ProgressCallback] = None,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.spec = spec
         self.cache = ResultCache(cache_dir)
         self.workers = max(1, int(workers))
         self.progress = progress
+        #: When set, runs whose config has ``capture_trace`` write their
+        #: NDJSON captures here (side effect; cached payloads unaffected).
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.last_stats = RunStats()
 
     # -- planning --------------------------------------------------------------
@@ -157,12 +161,19 @@ class CampaignRunner:
         if self.progress is not None:
             self.progress(run, from_cache)
 
+    def _worker_payload(self, run: RunSpec) -> Dict[str, Any]:
+        """The run's payload, plus side-channel capture options."""
+        payload = dict(run.to_payload())
+        if self.trace_dir is not None:
+            payload["trace_dir"] = str(self.trace_dir)
+        return payload
+
     def _execute(self, to_run: List[RunSpec]):
         """Yield (digest, payload) as runs complete (order unspecified)."""
         by_digest = {run.digest: run for run in to_run}
         if self.workers == 1 or len(to_run) <= 1:
             for run in to_run:
-                payload = execute_run(run.to_payload())
+                payload = execute_run(self._worker_payload(run))
                 self._report_progress(run, from_cache=False)
                 yield run.digest, payload
             return
@@ -173,7 +184,7 @@ class CampaignRunner:
         context = multiprocessing.get_context("fork" if "fork" in methods else None)
         processes = min(self.workers, len(to_run))
         with context.Pool(processes=processes) as pool:
-            payloads = [run.to_payload() for run in to_run]
+            payloads = [self._worker_payload(run) for run in to_run]
             for payload in pool.imap_unordered(execute_run, payloads):
                 run = by_digest[payload["digest"]]
                 self._report_progress(run, from_cache=False)

@@ -18,9 +18,28 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Mapping, Optional
 
+from pathlib import Path
+
 from repro.campaign.spec import config_from_dict
+from repro.obs.ndjson import export_trace
 from repro.scenario.results import ScenarioResult
 from repro.scenario.runner import run_scenario
+
+
+def _export_captures(result: ScenarioResult, trace_dir: str, digest: str) -> None:
+    """Write the run's trace + span captures under ``trace_dir``."""
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    config = result.config
+    meta = {
+        "digest": digest,
+        "seed": config.seed,
+        "n_nodes": config.n_nodes,
+        "protocol": config.protocol,
+    }
+    export_trace(result.trace, out / f"{digest}.trace.ndjson", meta=meta)
+    if result.profiler is not None:
+        result.profiler.export_ndjson(out / f"{digest}.spans.ndjson")
 
 
 def _finite(value: float) -> Optional[float]:
@@ -79,10 +98,20 @@ def execute_run(payload: Mapping[str, Any]) -> Dict[str, Any]:
     """Run one grid point replicate described by a :class:`RunSpec` payload.
 
     Returns the cache-ready result payload (identity fields + metrics).
+
+    When the payload carries a ``trace_dir`` (scheduler-side opt-in) and
+    the config enables ``capture_trace``, the run's NDJSON captures are
+    written as a side effect — ``<digest>.ndjson`` (trace) and
+    ``<digest>.spans.ndjson`` (span profile).  The returned payload never
+    includes ``trace_dir``, so cached result bytes stay identical whether
+    or not captures were requested.
     """
     config = config_from_dict(payload["config"])
     with run_scenario(config) as result:
         metrics = standard_metrics(result)
+        trace_dir = payload.get("trace_dir")
+        if trace_dir is not None and config.capture_trace:
+            _export_captures(result, str(trace_dir), str(payload["digest"]))
     return {
         "point_index": payload["point_index"],
         "point_key": payload["point_key"],

@@ -55,6 +55,10 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
         help="application message interval per node (seconds)",
     )
     parser.add_argument("--payload", type=int, default=24, help="application payload bytes")
+    parser.add_argument(
+        "--capture-trace", action="store_true",
+        help="enable the flight recorder + span profiler (see repro-trace)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
@@ -74,6 +78,7 @@ def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
             interval_s=args.traffic_interval,
             payload_bytes=args.payload,
         ),
+        capture_trace=getattr(args, "capture_trace", False),
     )
 
 
@@ -87,7 +92,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     result = run_scenario(config)
     print(f"ground-truth message PDR: {result.truth.msg_pdr:.1%}", file=sys.stderr)
     if result.store is not None:
-        dashboard = Dashboard(result.store, report_interval_s=config.report_interval_s)
+        dashboard = Dashboard(
+            result.store, report_interval_s=config.report_interval_s,
+            flight_recorder=result.recorder,
+        )
         print(dashboard.render_text(result.sim.now))
     else:
         print("(monitoring disabled; no dashboard)", file=sys.stderr)

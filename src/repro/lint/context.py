@@ -35,6 +35,13 @@ SIM_SCOPED_PACKAGES: Tuple[str, ...] = (
 #: ETA lines — so scoping is per-module, not per-package.
 CAMPAIGN_SIM_MODULES: Tuple[str, ...] = ("worker",)
 
+#: modules of ``repro.obs`` that sit on the simulation side of the fence.
+#: The recorder consumes trace events stamped with simulated time and the
+#: span core times *simulation* work (its deliberate ``perf_counter``
+#: reads carry per-line suppressions with rationale); the NDJSON writer
+#: and the ``repro-trace`` CLI are operator-side I/O and stay exempt.
+OBS_SIM_MODULES: Tuple[str, ...] = ("recorder", "spans")
+
 
 def module_name_for(path: Path) -> Optional[str]:
     """Dotted module name for ``path``, or None for a loose script.
@@ -108,4 +115,7 @@ class FileContext:
         if self.repro_subpackage == "campaign":
             parts = (self.module or "").split(".")
             return len(parts) > 2 and parts[2] in CAMPAIGN_SIM_MODULES
+        if self.repro_subpackage == "obs":
+            parts = (self.module or "").split(".")
+            return len(parts) > 2 and parts[2] in OBS_SIM_MODULES
         return False

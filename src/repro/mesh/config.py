@@ -31,7 +31,8 @@ class MeshConfig:
         jitter_s: uniform jitter applied to periodic broadcasts so nodes
             booted together do not synchronise their beacons.
         queue_limit: MAC queue capacity; overflow drops the newest frame
-            (tail drop, as LoRaMesher does).
+            (tail drop, as LoRaMesher does).  0 means no buffering at
+            all: every enqueue attempt drops as ``queue_full``.
         duty_cycle_enforce: refuse transmissions that would bust the EU868
             duty cycle (True) or transmit anyway and count violations.
     """
@@ -83,8 +84,8 @@ class MeshConfig:
             )
         if self.jitter_s < 0:
             raise ConfigurationError(f"jitter_s must be >= 0, got {self.jitter_s}")
-        if self.queue_limit < 1:
-            raise ConfigurationError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.queue_limit < 0:
+            raise ConfigurationError(f"queue_limit must be >= 0, got {self.queue_limit}")
         if self.triggered_update_min_gap_s < 0:
             raise ConfigurationError(
                 f"triggered_update_min_gap_s must be >= 0, got {self.triggered_update_min_gap_s}"

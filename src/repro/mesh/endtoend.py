@@ -124,6 +124,7 @@ class ReliableMessenger:
         pending.attempts_left -= 1
         if not first:
             self.stats.retries += 1
+        prev_msg_id = pending.msg_ids[-1] if pending.msg_ids else None
         msg_id = self.node.send_message(pending.dst, pending.payload, ptype=pending.ptype)
         if msg_id is None:
             # No route right now; retry later unless exhausted.
@@ -136,6 +137,19 @@ class ReliableMessenger:
             return False
         pending.current_msg_id = msg_id
         pending.msg_ids.append(msg_id)
+        # Causal chain for the flight recorder: a retry creates a *new*
+        # msg_id, and this event links it back to the abandoned attempt.
+        if first:
+            self.node.trace.emit(
+                self._sim.now, "e2e.send", node=self.node.address,
+                dst=pending.dst, msg_id=msg_id, max_attempts=self.max_attempts,
+            )
+        else:
+            self.node.trace.emit(
+                self._sim.now, "e2e.retry", node=self.node.address,
+                dst=pending.dst, msg_id=msg_id, prev_msg_id=prev_msg_id,
+                attempts_left=pending.attempts_left,
+            )
         self._pending_by_msg[msg_id] = pending
         pending.timeout_event = self._sim.call_in(
             self.timeout_s, lambda: self._timeout(pending)
@@ -158,6 +172,10 @@ class ReliableMessenger:
             self.stats.delivered += 1
         else:
             self.stats.gave_up += 1
+            self.node.trace.emit(
+                self._sim.now, "e2e.give_up", node=self.node.address,
+                dst=pending.dst, msg_ids=list(pending.msg_ids),
+            )
         if pending.on_result is not None:
             pending.on_result(ok)
 
@@ -183,6 +201,10 @@ class ReliableMessenger:
         if pending is None:
             self.stats.duplicate_acks += 1
             return
+        self.node.trace.emit(
+            self._sim.now, "e2e.ack", node=self.node.address,
+            dst=pending.dst, msg_id=acked_msg_id,
+        )
         self._finish(pending, ok=True)
 
     @property

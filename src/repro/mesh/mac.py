@@ -32,6 +32,7 @@ from repro.phy.params import LoRaParams
 from repro.phy.radio import Radio, RadioState
 from repro.phy.regional import DutyCycleTracker
 from repro.sim.engine import Event, Simulator
+from repro.sim.trace import TraceLog
 
 #: Turnaround delay before an ACK is transmitted (RX->TX switch + processing).
 ACK_TURNAROUND_S = 0.05
@@ -89,9 +90,11 @@ class CsmaMac:
         rng: random.Random,
         radio: Optional[Radio] = None,
         duty_tracker: Optional[DutyCycleTracker] = None,
+        trace: Optional[TraceLog] = None,
     ) -> None:
         self._sim = sim
         self._channel = channel
+        self._trace = trace
         self.address = address
         self.params = params
         self._config = config
@@ -125,6 +128,7 @@ class CsmaMac:
             return False
         if len(self._queue) >= self._config.queue_limit:
             self.stats.drop("queue_full")
+            self._emit_drop(packet, "queue_full", attempts=0)
             if on_done is not None:
                 on_done(False, "queue_full")
             return False
@@ -150,7 +154,12 @@ class CsmaMac:
             self._pending_retry.cancel()
         if self._ack_timeout_event is not None:
             self._ack_timeout_event.cancel()
+        if self._in_flight is not None:
+            # The in-flight frame dies with the node; it never gets a
+            # callback (the node is gone), but the trace records its fate.
+            self._emit_drop(self._in_flight.packet, "stopped", self._in_flight.tx_attempts)
         for item in self._queue:
+            self._emit_drop(item.packet, "stopped", item.tx_attempts)
             if item.on_done is not None:
                 item.on_done(False, "stopped")
         self._queue.clear()
@@ -297,6 +306,7 @@ class CsmaMac:
                 # An unsent ACK is cheaper than a duty violation; the data
                 # sender will retransmit.
                 self.stats.drop("ack_duty_cycle")
+                self._emit_drop(ack_packet, "ack_duty_cycle", attempts=0)
                 return
             self.duty.record(self.params.frequency_hz, airtime, self._sim.now)
             self._transmitting = True
@@ -323,7 +333,25 @@ class CsmaMac:
             self._in_flight = None
         if not ok:
             self.stats.drop(reason)
+            self._emit_drop(item.packet, reason, item.tx_attempts)
         if item.on_done is not None:
             item.on_done(ok, reason)
         if self._queue:
             self._schedule_attempt(0.0)
+
+    def _emit_drop(self, packet: Packet, reason: str, attempts: int) -> None:
+        """Ground-truth record of a frame the MAC gave up on."""
+        if self._trace is None:
+            return
+        self._trace.emit(
+            self._sim.now,
+            "mac.drop",
+            node=self.address,
+            reason=reason,
+            src=packet.src,
+            packet_id=packet.packet_id,
+            ptype=int(packet.ptype),
+            dst=packet.dst,
+            next_hop=packet.next_hop,
+            tx_attempts=attempts,
+        )

@@ -108,6 +108,7 @@ class MeshNode:
             params=self.params,
             config=self.config,
             rng=self._rng,
+            trace=self._trace,
         )
         self.neighbors = NeighborTable(timeout_s=self.config.neighbor_timeout_s)
         self.routes = self._make_route_table()
@@ -196,6 +197,7 @@ class MeshNode:
             params=self.params,
             config=self.config,
             rng=self._rng,
+            trace=self._trace,
         )
         self.mac.on_frame_tx = self._frame_transmitted
         self._channel.attach(self.address, self._on_reception, self.mac.is_listening)
@@ -205,6 +207,11 @@ class MeshNode:
     @property
     def uptime_s(self) -> float:
         return self._sim.now - self.boot_time
+
+    @property
+    def trace(self) -> TraceLog:
+        """The ground-truth trace this node emits into."""
+        return self._trace
 
     # -- application interface -------------------------------------------------
 
@@ -232,6 +239,22 @@ class MeshNode:
             if self.routes.next_hop(dst) is None:
                 self.counters.drop("no_route")
                 self._trace.emit(self._sim.now, "mesh.drop", node=self.address, reason="no_route", dst=dst)
+                # Give the refused message an id of its own so the flight
+                # recorder can assign it a terminal verdict.  Consuming the
+                # id is safe: ids only need to be unique per origin, and
+                # ``mesh.origin`` is deliberately NOT emitted (the message
+                # never entered the network, so PDR accounting is unchanged).
+                refused_id = next(self._msg_ids) & 0xFFFF
+                self._trace.emit(
+                    self._sim.now,
+                    "mesh.origin_refused",
+                    node=self.address,
+                    dst=dst,
+                    msg_id=refused_id,
+                    ptype=int(ptype),
+                    size=len(payload),
+                    reason="no_route",
+                )
                 return None
         msg_id = next(self._msg_ids) & 0xFFFF
         fragments = segment_message(msg_id, payload, mtu=MAX_PAYLOAD)
@@ -256,6 +279,9 @@ class MeshNode:
                     dst=dst,
                     packet_id=packet.packet_id,
                     ptype=int(ptype),
+                    msg_id=msg_id,
+                    seg_index=fragment.seg_index,
+                    seg_total=fragment.seg_total,
                 )
                 self.mac.send(packet)
         return msg_id
@@ -438,13 +464,17 @@ class MeshNode:
         # Forwarding role.
         if packet.ttl <= 1:
             self.counters.drop("ttl_exceeded")
-            self._trace.emit(now, "mesh.drop", node=self.address, reason="ttl", dst=packet.dst)
+            self._trace.emit(
+                now, "mesh.drop", node=self.address, reason="ttl", dst=packet.dst,
+                src=packet.src, packet_id=packet.packet_id,
+            )
             return
         next_hop = self.routes.next_hop(packet.dst)
         if next_hop is None:
             self.counters.drop("no_route_forward")
             self._trace.emit(
-                now, "mesh.drop", node=self.address, reason="no_route_forward", dst=packet.dst
+                now, "mesh.drop", node=self.address, reason="no_route_forward", dst=packet.dst,
+                src=packet.src, packet_id=packet.packet_id,
             )
             return
         self.counters.forwarded += 1
@@ -466,6 +496,10 @@ class MeshNode:
         if packet.dst == self.address:
             return  # unicast reached its destination; no relay needed
         if packet.ttl <= 1:
+            self._trace.emit(
+                now, "mesh.drop", node=self.address, reason="ttl", dst=packet.dst,
+                src=packet.src, packet_id=packet.packet_id,
+            )
             return
         delay = self.flooding.rebroadcast_delay(reception.snr_db)
         relayed = packet.hop(next_hop=BROADCAST, prev_hop=self.address)

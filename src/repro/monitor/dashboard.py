@@ -13,12 +13,15 @@ module renders the same panels in three media:
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.monitor import health as health_mod
 from repro.monitor import metrics
 from repro.monitor.alerts import AlertEngine
 from repro.monitor.storage import MetricsStore
+
+if TYPE_CHECKING:  # the observability layer is optional for the dashboard
+    from repro.obs.recorder import FlightRecorder
 
 
 def _format_table(headers: List[str], rows: List[List[str]]) -> str:
@@ -51,6 +54,7 @@ class Dashboard:
         alert_engine: Optional[AlertEngine] = None,
         report_interval_s: float = 60.0,
         monitor_server: Optional[Any] = None,
+        flight_recorder: Optional["FlightRecorder"] = None,
     ) -> None:
         """Args:
             store: the metrics store to render.
@@ -59,11 +63,15 @@ class Dashboard:
             monitor_server: optional :class:`~repro.monitor.server.MonitorServer`
                 whose self-metrics feed the ``[server]`` panel ("monitor
                 the monitor"); omit to hide the panel.
+            flight_recorder: optional :class:`~repro.obs.recorder.FlightRecorder`
+                feeding the ``[drops]`` panel (message verdicts and drop
+                accounting); omit to hide the panel.
         """
         self.store = store
         self.alerts = alert_engine if alert_engine is not None else AlertEngine(store)
         self.report_interval_s = report_interval_s
         self.monitor_server = monitor_server
+        self.flight_recorder = flight_recorder
 
     # -- panels ------------------------------------------------------------------
 
@@ -131,6 +139,12 @@ class Dashboard:
         if self.monitor_server is None:
             return None
         return self.monitor_server.self_metrics_document()
+
+    def drops_document(self) -> Optional[Dict[str, Any]]:
+        """Flight-recorder summary (verdicts + drop tables), or None."""
+        if self.flight_recorder is None:
+            return None
+        return self.flight_recorder.to_json_dict()
 
     # -- renderers ----------------------------------------------------------------
 
@@ -235,6 +249,28 @@ class Dashboard:
                 )
             )
 
+        drops_doc = self.drops_document()
+        if drops_doc is not None:
+            sections.append("\n[drops]  (flight recorder: message verdicts / drop events)")
+            verdicts = {k: v for k, v in drops_doc["verdicts"].items() if v}
+            sections.append(
+                _format_table(
+                    ["verdict", "messages"],
+                    [[verdict, str(count)] for verdict, count in verdicts.items()],
+                )
+            )
+            reasons = drops_doc["drops_by_reason"]
+            if reasons:
+                sections.append(
+                    _format_table(
+                        ["drop reason", "events"],
+                        [
+                            [reason, str(count)]
+                            for reason, count in sorted(reasons.items(), key=lambda kv: -kv[1])
+                        ],
+                    )
+                )
+
         active = self.alerts.active()
         sections.append(f"\n[alerts]  {len(active)} active")
         for alert in active:
@@ -293,4 +329,5 @@ class Dashboard:
                 for alert in self.alerts.active()
             ],
             "server": self.server_document(),
+            "drops": self.drops_document(),
         }

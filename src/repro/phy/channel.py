@@ -199,6 +199,19 @@ class Channel:
             if listener is not None and listener():
                 tx.listeners_at_start.add(node)
         self._active.append(tx)
+        # Thread the network-wide packet identity into the PHY event stream
+        # so the flight recorder can stitch phy.tx/rx/collision (keyed by
+        # tx_id) back to the mesh packet that was on the air.
+        identity: Dict[str, Any] = {}
+        src = getattr(payload, "src", None)
+        if src is not None:
+            identity = {
+                "src": src,
+                "packet_id": getattr(payload, "packet_id", None),
+                "ptype": int(getattr(payload, "ptype", 0)),
+                "dst": getattr(payload, "dst", None),
+                "next_hop": getattr(payload, "next_hop", None),
+            }
         self._trace.emit(
             now,
             "phy.tx",
@@ -208,6 +221,7 @@ class Channel:
             airtime=end - now,
             frequency_hz=params.frequency_hz,
             sf=params.spreading_factor,
+            **identity,
         )
         self._sim.call_at(end, lambda: self._complete(tx), priority=-1)
         return tx

@@ -125,6 +125,10 @@ class ScenarioConfig:
         cooldown_s: drain time after traffic stops, so in-flight frames
             and final telemetry batches arrive before measurement.
         workload: application traffic spec.
+        capture_trace: enable the observability layer — a
+            :class:`~repro.obs.recorder.FlightRecorder` reconstructing
+            per-message lifecycles and a :class:`~repro.obs.spans.SpanProfiler`
+            timing engine events.  Off by default (zero overhead).
     """
 
     seed: int = 1
@@ -147,6 +151,7 @@ class ScenarioConfig:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     #: Optional node movement (None = static deployment, the paper's case).
     mobility: Optional[MobilitySpec] = None
+    capture_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:

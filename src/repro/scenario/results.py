@@ -173,6 +173,10 @@ class ScenarioResult:
     truth: GroundTruth
     mobility: Optional[object] = None
     messengers: Dict[int, object] = field(default_factory=dict)
+    #: Flight recorder / span profiler, populated when the scenario ran
+    #: with ``capture_trace=True`` (see :mod:`repro.obs`).
+    recorder: Optional[object] = None
+    profiler: Optional[object] = None
 
     def node(self, address: int):
         return self.nodes[address]

@@ -27,6 +27,8 @@ from repro.monitor.uplink import (
     ReliableInBandUplink,
     Uplink,
 )
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import SpanProfiler
 from repro.phy.channel import Channel
 from repro.phy.link import LinkModel, PathLossParams
 from repro.phy.params import LoRaParams
@@ -76,8 +78,17 @@ class Scenario:
     def __init__(self, config: ScenarioConfig) -> None:
         self.config = config
         self.rng = RngRegistry(seed=config.seed)
-        self.sim = Simulator()
+        # The profiler is always present but disabled unless the scenario
+        # opts in — the engine's disabled-path cost is a single local check
+        # per event (pinned < 3 % by bench_o1_trace_overhead).
+        self.profiler = SpanProfiler(enabled=config.capture_trace)
+        self.sim = Simulator(profiler=self.profiler)
+        self.profiler.attach_sim_clock(lambda: self.sim.now)
         self.trace = TraceLog(capacity=500_000)
+        self.recorder: Optional[FlightRecorder] = None
+        if config.capture_trace:
+            self.recorder = FlightRecorder()
+            self.recorder.attach(self.trace)
         self.params = LoRaParams(
             spreading_factor=config.spreading_factor,
             tx_power_dbm=config.tx_power_dbm,
@@ -268,17 +279,22 @@ class Scenario:
     def run(self) -> ScenarioResult:
         """Warmup -> measured traffic -> cooldown; returns the result."""
         config = self.config
-        self.sim.run(until=config.warmup_s)
+        profiler = self.profiler
+        with profiler.span("scenario.warmup"):
+            self.sim.run(until=config.warmup_s)
         for workload in self.workloads:
             workload.start()
-        self.sim.run(until=config.warmup_s + config.duration_s)
+        with profiler.span("scenario.traffic"):
+            self.sim.run(until=config.warmup_s + config.duration_s)
         for workload in self.workloads:
             workload.stop()
-        self.sim.run(until=config.warmup_s + config.duration_s + config.cooldown_s)
+        with profiler.span("scenario.cooldown"):
+            self.sim.run(until=config.warmup_s + config.duration_s + config.cooldown_s)
         # Final telemetry flush so the server sees the full window.
-        for client in self.clients.values():
-            client.flush()
-        self.sim.run(until=self.sim.now + 30.0)
+        with profiler.span("scenario.drain"):
+            for client in self.clients.values():
+                client.flush()
+            self.sim.run(until=self.sim.now + 30.0)
         return ScenarioResult(
             config=config,
             sim=self.sim,
@@ -296,6 +312,8 @@ class Scenario:
             truth=self.truth,
             mobility=self.mobility,
             messengers=self.messengers,
+            recorder=self.recorder,
+            profiler=self.profiler,
         )
 
 

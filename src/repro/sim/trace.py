@@ -2,13 +2,26 @@
 
 The trace is the simulator-side ground truth: the mesh stack and PHY emit
 events into it, and the analysis layer compares what the monitoring system
-*observed* against what the trace says *happened*.
+*observed* against what the trace says *happened*.  The observability
+layer (:mod:`repro.obs`) consumes the same stream live through
+subscriptions to reconstruct per-packet lifecycles.
+
+Capacity handling is O(1) per event: the backing store is a
+``collections.deque(maxlen=capacity)``, so hitting the bound evicts the
+single oldest event instead of the old ``del events[:overflow]`` list
+compaction, which was O(n) on *every* emit once at capacity (~3 orders of
+magnitude slower at the default 500k-event bound — see
+``docs/OBSERVABILITY.md`` for the micro-bench).  Running counters stay
+exact regardless of eviction.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Union
+
+from repro.errors import SimulationError
 
 
 @dataclass(frozen=True)
@@ -30,40 +43,151 @@ class TraceEvent:
     data: Dict[str, Any] = field(default_factory=dict)
 
 
+TraceListener = Callable[[TraceEvent], None]
+
+
+class TraceSubscription:
+    """Handle for one registered listener.
+
+    Returned by :meth:`TraceLog.subscribe`; call :meth:`unsubscribe` (or
+    :meth:`TraceLog.unsubscribe` with either the handle or the original
+    callable) to stop receiving events.  Unsubscribing is idempotent.
+    """
+
+    __slots__ = ("listener", "_log", "_active")
+
+    def __init__(self, log: "TraceLog", listener: TraceListener) -> None:
+        self.listener = listener
+        self._log = log
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        """Whether this subscription still receives events."""
+        return self._active
+
+    def unsubscribe(self) -> None:
+        """Detach the listener (safe to call more than once)."""
+        if self._active:
+            self._active = False
+            self._log._remove(self)
+
+
 class TraceLog:
-    """Append-only event log with simple filtering and counting."""
+    """Append-only event log with filtering, counting and subscriptions."""
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         """Create a trace log.
 
         Args:
             capacity: optional bound on retained events; when exceeded the
-                oldest events are dropped (the running counters keep exact
-                totals regardless).
+                oldest event is dropped in O(1) (the running counters keep
+                exact totals regardless).
         """
-        self._events: List[TraceEvent] = []
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"trace capacity must be >= 1, got {capacity}")
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._capacity = capacity
         self._counts: Dict[str, int] = {}
-        self._listeners: List[Callable[[TraceEvent], None]] = []
+        self._emitted = 0
+        self._subscriptions: List[TraceSubscription] = []
+        self._closed = False
 
     def emit(self, time: float, kind: str, node: Optional[int] = None, **data: Any) -> TraceEvent:
         """Record an event and notify listeners."""
         event = TraceEvent(time=time, kind=kind, node=node, data=data)
         self._events.append(event)
         self._counts[kind] = self._counts.get(kind, 0) + 1
-        if self._capacity is not None and len(self._events) > self._capacity:
-            del self._events[: len(self._events) - self._capacity]
-        for listener in self._listeners:
-            listener(event)
+        self._emitted += 1
+        for subscription in self._subscriptions:
+            subscription.listener(event)
         return event
 
-    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
-        """Register a callback invoked synchronously for every new event."""
-        self._listeners.append(listener)
+    # -- listener lifecycle ---------------------------------------------------
+
+    def subscribe(self, listener: TraceListener) -> TraceSubscription:
+        """Register a callback invoked synchronously for every new event.
+
+        Returns a :class:`TraceSubscription` handle; keep it to detach the
+        listener later.  Subscribing the same callable twice yields two
+        independent subscriptions.
+
+        Raises:
+            SimulationError: when the log has been closed — a closed log
+                must not grow new listeners (the RL006 lifecycle story).
+        """
+        if self._closed:
+            raise SimulationError("cannot subscribe to a closed TraceLog")
+        subscription = TraceSubscription(self, listener)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def unsubscribe(self, target: Union[TraceSubscription, TraceListener]) -> bool:
+        """Detach a listener by handle or by the original callable.
+
+        When a callable was subscribed more than once, the first matching
+        subscription is removed.  Returns True when something was detached.
+        """
+        if isinstance(target, TraceSubscription):
+            was_active = target.active
+            target.unsubscribe()
+            return was_active
+        for subscription in self._subscriptions:
+            if subscription.listener == target:
+                subscription.unsubscribe()
+                return True
+        return False
+
+    def _remove(self, subscription: TraceSubscription) -> None:
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:  # already detached (e.g. via close())
+            pass
+
+    def close(self) -> None:
+        """End the listener lifecycle: detach all subscriptions (idempotent).
+
+        Events already recorded stay readable and :meth:`emit` keeps
+        working (the log itself holds no OS resources); only listeners are
+        affected, so a closed-and-reused log cannot leak callbacks into a
+        previous consumer.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for subscription in self._subscriptions:
+            subscription._active = False
+        self._subscriptions.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of currently attached listeners."""
+        return len(self._subscriptions)
+
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # -- queries --------------------------------------------------------------
 
     def count(self, kind: str) -> int:
         """Exact number of events of ``kind`` emitted so far."""
         return self._counts.get(kind, 0)
+
+    @property
+    def total_emitted(self) -> int:
+        """Exact number of events ever emitted (eviction-independent)."""
+        return self._emitted
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
 
     def events(self, kind: Optional[str] = None, node: Optional[int] = None) -> Iterator[TraceEvent]:
         """Iterate retained events, optionally filtered by kind and/or node."""

@@ -107,6 +107,37 @@ class TestWorkerEntry:
         json.dumps(payload, allow_nan=False)
 
 
+class TestTraceCaptures:
+    def test_trace_dir_writes_captures_for_opted_in_runs_only(self, tmp_path):
+        from repro.obs.ndjson import validate_trace_file
+
+        spec = tiny_spec(axes={"capture_trace": [False, True]}, replicates=1)
+        trace_dir = tmp_path / "traces"
+        runner = CampaignRunner(spec, tmp_path / "cache", workers=1, trace_dir=trace_dir)
+        runner.run()
+        captured = {run.digest for run in spec.expand() if run.config().capture_trace}
+        assert len(captured) == 1
+        traces = sorted(trace_dir.glob("*.trace.ndjson"))
+        spans = sorted(trace_dir.glob("*.spans.ndjson"))
+        assert [p.name for p in traces] == [f"{d}.trace.ndjson" for d in sorted(captured)]
+        assert [p.name for p in spans] == [f"{d}.spans.ndjson" for d in sorted(captured)]
+        summary = validate_trace_file(traces[0])
+        assert summary["events"] > 0
+
+    def test_cache_bytes_do_not_depend_on_trace_dir(self, tmp_path):
+        spec = tiny_spec(axes={"capture_trace": [True]}, replicates=1)
+        with_dir = CampaignRunner(
+            spec, tmp_path / "a", workers=1, trace_dir=tmp_path / "traces"
+        ).run()
+        without = CampaignRunner(spec, tmp_path / "b", workers=1).run()
+        assert render_report_json(with_dir) == render_report_json(without)
+        (digest,) = [run.digest for run in spec.expand()]
+        entry_a = (tmp_path / "a" / digest[:2] / f"{digest}.json").read_text()
+        entry_b = (tmp_path / "b" / digest[:2] / f"{digest}.json").read_text()
+        assert entry_a == entry_b
+        assert "trace_dir" not in entry_a
+
+
 class TestCli:
     def write_spec(self, tmp_path, spec):
         path = tmp_path / "spec.json"

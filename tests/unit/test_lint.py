@@ -123,6 +123,34 @@ class TestRL001WallClock:
             )
             assert violations == [], module
 
+    def test_obs_recorder_and_spans_sim_scoped(self, tmp_path):
+        # The recorder/span core sit on the simulation side of the obs
+        # package: stray wall-clock there could leak into verdicts or
+        # sim-time bookkeeping, so RL001 applies per-module.
+        for module in ("recorder", "spans"):
+            violations = lint_source(
+                tmp_path,
+                f"repro/obs/{module}.py",
+                """
+                import time
+                started = time.monotonic()
+                """,
+            )
+            assert rule_ids(violations) == ["RL001"], module
+
+    def test_obs_ndjson_and_cli_exempt(self, tmp_path):
+        # The NDJSON writer and repro-trace CLI are operator-side I/O.
+        for module in ("ndjson", "cli"):
+            violations = lint_source(
+                tmp_path,
+                f"repro/obs/{module}.py",
+                """
+                import time
+                started = time.monotonic()
+                """,
+            )
+            assert violations == [], module
+
 
 class TestRL002GlobalRng:
     def test_global_draw_flagged(self, tmp_path):

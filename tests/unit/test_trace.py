@@ -1,6 +1,9 @@
 """Unit tests for the trace log."""
 
-from repro.sim.trace import TraceLog
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace import TraceLog, TraceSubscription
 
 
 class TestTraceLog:
@@ -49,3 +52,96 @@ class TestTraceLog:
         assert not trace
         trace.emit(0.0, "x")
         assert trace
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            TraceLog(capacity=0)
+
+    def test_total_emitted_survives_eviction(self):
+        trace = TraceLog(capacity=2)
+        for index in range(7):
+            trace.emit(float(index), "k")
+        assert trace.total_emitted == 7
+        assert trace.capacity == 2
+        assert len(trace) == 2
+
+
+class TestSubscriptions:
+    def test_subscribe_returns_live_handle(self):
+        trace = TraceLog()
+        handle = trace.subscribe(lambda event: None)
+        assert isinstance(handle, TraceSubscription)
+        assert handle.active
+        assert trace.subscriber_count == 1
+
+    def test_unsubscribe_via_handle_stops_delivery(self):
+        trace = TraceLog()
+        seen = []
+        handle = trace.subscribe(seen.append)
+        trace.emit(1.0, "a")
+        handle.unsubscribe()
+        trace.emit(2.0, "b")
+        assert [event.kind for event in seen] == ["a"]
+        assert not handle.active
+        assert trace.subscriber_count == 0
+
+    def test_unsubscribe_is_idempotent(self):
+        trace = TraceLog()
+        handle = trace.subscribe(lambda event: None)
+        handle.unsubscribe()
+        handle.unsubscribe()  # must not raise or corrupt the listener list
+        assert trace.subscriber_count == 0
+
+    def test_unsubscribe_by_callable(self):
+        trace = TraceLog()
+        seen = []
+        trace.subscribe(seen.append)
+        assert trace.unsubscribe(seen.append) is True
+        assert trace.unsubscribe(seen.append) is False  # already gone
+        trace.emit(1.0, "a")
+        assert seen == []
+
+    def test_same_callable_twice_gives_independent_subscriptions(self):
+        trace = TraceLog()
+        seen = []
+        first = trace.subscribe(seen.append)
+        trace.subscribe(seen.append)
+        trace.emit(1.0, "a")
+        assert len(seen) == 2  # delivered once per subscription
+        first.unsubscribe()
+        trace.emit(2.0, "b")
+        assert [event.kind for event in seen] == ["a", "a", "b"]
+
+    def test_close_detaches_all_listeners(self):
+        trace = TraceLog()
+        seen = []
+        handle = trace.subscribe(seen.append)
+        trace.close()
+        assert trace.closed
+        assert trace.subscriber_count == 0
+        assert not handle.active
+        # Emitting after close still records (the log holds no OS
+        # resources) but notifies nobody.
+        trace.emit(1.0, "a")
+        assert seen == []
+        assert trace.count("a") == 1
+
+    def test_close_is_idempotent_and_blocks_new_subscribers(self):
+        trace = TraceLog()
+        trace.close()
+        trace.close()
+        with pytest.raises(SimulationError):
+            trace.subscribe(lambda event: None)
+
+    def test_unsubscribe_after_close_is_safe(self):
+        trace = TraceLog()
+        handle = trace.subscribe(lambda event: None)
+        trace.close()
+        handle.unsubscribe()  # detached by close(); must stay a no-op
+        assert trace.subscriber_count == 0
+
+    def test_context_manager_closes(self):
+        with TraceLog() as trace:
+            trace.subscribe(lambda event: None)
+        assert trace.closed
+        assert trace.subscriber_count == 0
