@@ -12,9 +12,7 @@ import time
 
 from repro.analysis.report import ExperimentReport
 from repro.monitor import metrics
-from repro.monitor.server import MonitorServer
-from repro.monitor.sqlitestore import SqliteMetricsStore
-from repro.monitor.storage import MetricsStore
+from repro.api import MetricsStore, MonitorServer, SqliteMetricsStore
 
 from benchmarks.common import emit
 from benchmarks.bench_f9_server_throughput import (

@@ -16,10 +16,15 @@ import math
 
 from repro.analysis.report import ExperimentReport
 from repro.monitor import metrics
-from repro.monitor.client import MonitorClient, MonitorClientConfig
-from repro.monitor.uplink import OutOfBandUplink
-from repro.scenario.config import MonitorMode, ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import Scenario
+from repro.api import (
+    MonitorClient,
+    MonitorClientConfig,
+    MonitorMode,
+    OutOfBandUplink,
+    Scenario,
+    ScenarioConfig,
+    WorkloadSpec,
+)
 
 from benchmarks.common import emit
 
@@ -42,8 +47,8 @@ def run_variant(name: str, capture_in: bool, capture_out: bool):
         workload=WorkloadSpec(kind="periodic", interval_s=180.0, payload_bytes=24),
     )
     scenario = Scenario(config)
-    from repro.monitor.server import MonitorServer
-    from repro.monitor.storage import MetricsStore
+    from repro.api import MonitorServer
+    from repro.api import MetricsStore
 
     store = MetricsStore()
     server = MonitorServer(store=store, clock=lambda: scenario.sim.now)
@@ -125,7 +130,7 @@ def test_a3_capture_directions(benchmark):
     assert out_only["observed_pdr"] == 0.0
 
     # Benchmark unit: PDR matrix on the full-capture store (the heaviest query).
-    from repro.monitor.storage import MetricsStore
+    from repro.api import MetricsStore
     benchmark(lambda: metrics.pdr_matrix(MetricsStore()))
 
 

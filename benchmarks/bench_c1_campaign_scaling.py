@@ -20,8 +20,7 @@ import time
 from pathlib import Path
 
 from repro.campaign.aggregate import render_report_json
-from repro.campaign.scheduler import CampaignRunner
-from repro.campaign.spec import CampaignSpec
+from repro.api import CampaignRunner, CampaignSpec
 
 from benchmarks.common import small_monitored_config
 

@@ -7,9 +7,7 @@ administrator through the dashboard's route-count panel.
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.mesh.config import MeshConfig
-from repro.scenario.config import ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import Scenario
+from repro.api import MeshConfig, Scenario, ScenarioConfig, WorkloadSpec
 
 from benchmarks.common import emit
 

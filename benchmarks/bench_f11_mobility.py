@@ -11,8 +11,7 @@ the final node positions degrades with speed.
 
 from repro.analysis.compare import topology_accuracy
 from repro.analysis.report import ExperimentReport
-from repro.scenario.config import MobilitySpec, ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import run_scenario
+from repro.api import MobilitySpec, ScenarioConfig, WorkloadSpec, run_scenario
 
 from benchmarks.common import emit
 
@@ -96,7 +95,7 @@ def test_f11_mobility(benchmark):
 
     # Benchmark unit: one mobility step over 16 nodes.
     import random
-    from repro.sim.engine import Simulator
+    from repro.api import Simulator
     from repro.sim.mobility import RandomWaypointMobility
     from repro.sim.rng import RngRegistry
     from repro.sim.topology import Placement, make_topology

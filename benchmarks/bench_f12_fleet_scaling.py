@@ -1,0 +1,214 @@
+"""F12 — Fleet scaling: per-network sharding must not tax ingestion.
+
+The multi-tenant server routes every batch to its network's shard (own
+store, dedup windows, counters).  This bench pins the cost of that
+routing and records it in ``BENCH_fleet.json`` at the repo root:
+
+1. **Flat sharding cost.**  The same total record volume is ingested
+   into 1, 2, 4 and 8 networks; records/s must stay within 40 % of the
+   single-network rate (the shard lookup is one ordered-dict hit, the
+   per-shard windows do the same work a single-tenant server did).
+2. **Fleet overview latency.**  ``fleet_overview`` over 8 populated
+   networks — the dashboard landing page — must render in well under a
+   second.
+3. **Shard creation / eviction.**  First-batch cost for a new network
+   (lazy shard creation) and steady-state cost under an LRU cap forcing
+   an eviction per new tenant, both as informational context.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.analysis.report import ExperimentReport
+from repro.api import (
+    Direction,
+    MonitorServer,
+    PacketRecord,
+    RecordBatch,
+    fleet_overview,
+)
+
+from benchmarks.common import emit
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+N_NODES = 25
+RECORDS_PER_BATCH = 100
+N_BATCHES = 120  # per sweep point: 12k packet records total, every time
+FLEET_SIZES = (1, 2, 4, 8)
+#: the sharding contract: >= 60 % of the single-network rate at 8 networks
+MIN_RELATIVE_RATE = 0.6
+
+
+def synthetic_batch(node, batch_seq, rng, network_id="default"):
+    base_seq = batch_seq * RECORDS_PER_BATCH
+    records = []
+    for offset in range(RECORDS_PER_BATCH):
+        direction = Direction.IN if offset % 2 == 0 else Direction.OUT
+        records.append(PacketRecord(
+            node=node,
+            seq=base_seq + offset,
+            timestamp=batch_seq * 60.0 + offset * 0.1,
+            direction=direction,
+            src=rng.randrange(1, N_NODES + 1),
+            dst=1,
+            next_hop=rng.randrange(1, N_NODES + 1),
+            prev_hop=rng.randrange(1, N_NODES + 1),
+            ptype=3,
+            packet_id=rng.randrange(0, 1 << 16),
+            size_bytes=40,
+            rssi_dbm=-100.0 - rng.random() * 20 if direction is Direction.IN else None,
+            snr_db=rng.random() * 10 - 5 if direction is Direction.IN else None,
+            airtime_s=0.05 if direction is Direction.OUT else None,
+        ))
+    return RecordBatch(
+        node=node, batch_seq=batch_seq, sent_at=batch_seq * 60.0,
+        packet_records=tuple(records), network_id=network_id,
+    )
+
+
+def fleet_raws(n_networks, seed=9):
+    """The sweep workload: N_BATCHES JSON batches round-robined over
+    ``n_networks`` tenants (total volume identical at every sweep point)."""
+    rng = random.Random(seed)
+    raws = []
+    for index in range(N_BATCHES):
+        network_id = f"site-{index % n_networks:02d}"
+        batch = synthetic_batch(
+            node=(index % N_NODES) + 1,
+            batch_seq=index // N_NODES,
+            rng=rng,
+            network_id=network_id,
+        )
+        raws.append(batch.to_json_bytes())
+    return raws
+
+
+def measure_scaling():
+    rates = {}
+    for n_networks in FLEET_SIZES:
+        raws = fleet_raws(n_networks)
+        server = MonitorServer()
+        start = time.perf_counter()
+        for raw in raws:
+            result = server.ingest_json(raw)
+            assert result.ok
+        elapsed = time.perf_counter() - start
+        assert len(server.networks()) == n_networks
+        rates[n_networks] = (N_BATCHES * RECORDS_PER_BATCH) / elapsed
+    return rates
+
+
+def measure_overview_latency():
+    server = MonitorServer()
+    for raw in fleet_raws(8):
+        server.ingest_json(raw)
+    start = time.perf_counter()
+    overview = fleet_overview(server, now=N_BATCHES * 60.0)
+    elapsed = time.perf_counter() - start
+    assert overview["totals"]["networks"] == 8
+    return elapsed * 1000.0
+
+
+def measure_shard_churn():
+    """Per-batch cost when every batch opens a new tenant, without and
+    with an LRU cap that evicts an idle shard for each arrival."""
+    rng = random.Random(17)
+    churn = {}
+    for label, max_networks in (("create", None), ("create_evict", 8)):
+        server = MonitorServer(max_networks=max_networks)
+        raws = [
+            synthetic_batch(1, 0, rng, network_id=f"churn-{index:04d}").to_json_bytes()
+            for index in range(200)
+        ]
+        start = time.perf_counter()
+        for raw in raws:
+            assert server.ingest_json(raw).ok
+        elapsed = time.perf_counter() - start
+        churn[label] = elapsed / len(raws) * 1e6  # us per batch
+    return churn
+
+
+def collect():
+    rates = measure_scaling()
+    overview_ms = measure_overview_latency()
+    churn = measure_shard_churn()
+    return {
+        "schema": "repro.bench.fleet/1",
+        "bench": "F12",
+        "scaling": {
+            "records_per_batch": RECORDS_PER_BATCH,
+            "batches": N_BATCHES,
+            "records_per_s": {str(n): round(rate, 1) for n, rate in rates.items()},
+            "relative_rate_at_8": round(rates[8] / rates[1], 4),
+            "min_relative_rate": MIN_RELATIVE_RATE,
+        },
+        "overview": {
+            "networks": 8,
+            "fleet_overview_ms": round(overview_ms, 2),
+        },
+        "shard_churn_us_per_batch": {
+            key: round(value, 1) for key, value in churn.items()
+        },
+    }
+
+
+def build_report(results):
+    report = ExperimentReport(
+        experiment_id="F12",
+        title="fleet scaling: sharded ingestion and overview latency",
+        expectation=(
+            "ingesting the same record volume into 8 networks sustains "
+            ">= 60% of the single-network rate (shard routing is one "
+            "dict lookup); the 8-network fleet overview renders in "
+            "< 500 ms; lazy shard creation and LRU eviction stay in "
+            "the microseconds-per-batch range"
+        ),
+        headers=["path", "value", "unit"],
+    )
+    for n, rate in results["scaling"]["records_per_s"].items():
+        report.add_row(f"ingest_{n}_networks", f"{rate:.1f}", "records/s")
+    report.add_row(
+        "relative_rate_at_8", f"{results['scaling']['relative_rate_at_8']:.3f}", "x"
+    )
+    report.add_row(
+        "fleet_overview_8", f"{results['overview']['fleet_overview_ms']:.1f}", "ms"
+    )
+    for key, value in results["shard_churn_us_per_batch"].items():
+        report.add_row(f"shard_{key}", f"{value:.1f}", "us/batch")
+    return report
+
+
+def test_f12_fleet_scaling(benchmark):
+    results = collect()
+    emit(build_report(results))
+    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    assert results["scaling"]["relative_rate_at_8"] >= MIN_RELATIVE_RATE
+    assert results["overview"]["fleet_overview_ms"] < 500.0
+
+    # Benchmark unit: one JSON batch into a warm 8-network server.
+    server = MonitorServer()
+    raws = fleet_raws(8)
+    for raw in raws:
+        server.ingest_json(raw)
+    rng = random.Random(23)
+    state = {"seq": 10_000}
+
+    def ingest_one():
+        state["seq"] += 1
+        raw = synthetic_batch(
+            3, state["seq"], rng, network_id=f"site-{state['seq'] % 8:02d}"
+        ).to_json_bytes()
+        server.ingest_json(raw)
+
+    benchmark(ingest_one)
+
+
+if __name__ == "__main__":
+    payload = collect()
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))

@@ -10,7 +10,7 @@ back from the aggregated report.
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.campaign.spec import CampaignSpec
+from repro.api import CampaignSpec
 from repro.monitor import metrics
 
 from benchmarks.common import (

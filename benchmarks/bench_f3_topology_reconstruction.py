@@ -10,7 +10,7 @@ from repro.analysis.compare import true_link_set
 from repro.analysis.reconstruct import reconstruct_topology
 from repro.analysis.report import ExperimentReport
 from repro.monitor import metrics
-from repro.monitor.storage import MetricsStore
+from repro.api import MetricsStore
 
 from benchmarks.common import cached_scenario, emit, small_monitored_config
 

@@ -6,7 +6,7 @@ node, latency) across an offered-load sweep.
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.scenario.config import WorkloadSpec
+from repro.api import WorkloadSpec
 
 from benchmarks.common import cached_scenario, emit, small_monitored_config
 

@@ -7,8 +7,8 @@ alert fires for the hottest relays.
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.monitor.alerts import AlertEngine, DutyCycleRule
-from repro.scenario.config import WorkloadSpec
+from repro.api import AlertEngine, WorkloadSpec
+from repro.monitor.alerts import DutyCycleRule
 
 from benchmarks.common import cached_scenario, emit, small_monitored_config
 

@@ -11,8 +11,7 @@ import random
 from repro.analysis.report import ExperimentReport
 from repro.phy.channel import Channel
 from repro.phy.link import LinkModel, PathLossParams
-from repro.phy.params import LoRaParams
-from repro.sim.engine import Simulator
+from repro.api import LoRaParams, Simulator
 from repro.sim.topology import Topology
 
 from benchmarks.common import emit

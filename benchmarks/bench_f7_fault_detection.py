@@ -7,9 +7,8 @@ detect failures faster.
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.monitor.alerts import AlertEngine, SilentNodeRule
-from repro.scenario.config import ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import Scenario
+from repro.api import AlertEngine, Scenario, ScenarioConfig, WorkloadSpec
+from repro.monitor.alerts import SilentNodeRule
 
 from benchmarks.common import emit
 

@@ -10,8 +10,8 @@ reaches them over multiple hops.
 import math
 
 from repro.analysis.report import ExperimentReport
-from repro.scenario.config import ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import build_lorawan_star, run_scenario
+from repro.api import ScenarioConfig, WorkloadSpec, run_scenario
+from repro.scenario.runner import build_lorawan_star
 
 from benchmarks.common import emit
 

@@ -15,9 +15,14 @@ import time
 
 from repro.analysis.report import ExperimentReport
 from repro.monitor import metrics
-from repro.monitor.records import Direction, PacketRecord, RecordBatch, StatusRecord
-from repro.monitor.server import MonitorServer
-from repro.monitor.sqlitestore import SqliteMetricsStore
+from repro.api import (
+    Direction,
+    MonitorServer,
+    PacketRecord,
+    RecordBatch,
+    SqliteMetricsStore,
+    StatusRecord,
+)
 
 from benchmarks.common import emit
 

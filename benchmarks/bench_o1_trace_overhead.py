@@ -24,8 +24,7 @@ import json
 import time
 from pathlib import Path
 
-from repro.obs.spans import SpanProfiler
-from repro.sim.engine import Simulator
+from repro.api import Simulator, SpanProfiler
 from repro.sim.trace import TraceLog
 
 REPO_ROOT = Path(__file__).resolve().parents[1]

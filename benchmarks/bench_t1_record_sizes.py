@@ -7,13 +7,8 @@ binary for the in-band LoRa path).
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.monitor.records import (
-    Direction,
-    NeighborObservation,
-    PacketRecord,
-    RecordBatch,
-    StatusRecord,
-)
+from repro.api import Direction, PacketRecord, RecordBatch, StatusRecord
+from repro.monitor.records import NeighborObservation
 
 from benchmarks.common import emit
 

@@ -11,7 +11,7 @@ spread instead of being a single draw.
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.campaign.spec import CampaignSpec
+from repro.api import CampaignSpec
 
 from benchmarks.common import (
     cached_scenario,

@@ -7,8 +7,7 @@ choice to ship telemetry over WiFi instead of over the mesh.
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.mesh.packet import PacketType
-from repro.scenario.config import MonitorMode
+from repro.api import MonitorMode, PacketType
 
 from benchmarks.common import cached_scenario, emit, small_monitored_config
 
@@ -92,7 +91,7 @@ def test_t3_uplink_modes(benchmark):
     )
 
     # Benchmark: one binary batch decode (gateway-side hot path).
-    from repro.monitor.records import RecordBatch
+    from repro.api import RecordBatch
     from benchmarks.bench_t1_record_sizes import typical_batch
     raw = typical_batch().to_binary()
     benchmark(lambda: RecordBatch.from_binary(raw))

@@ -8,8 +8,7 @@ outside this model and noted as such).
 """
 
 from repro.analysis.report import ExperimentReport
-from repro.scenario.config import MonitorMode, ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import run_scenario
+from repro.api import MonitorMode, ScenarioConfig, WorkloadSpec, run_scenario
 
 from benchmarks.common import emit
 

@@ -29,11 +29,15 @@ import tempfile
 from typing import Any, Dict, List, Mapping
 
 from repro.campaign.hashing import config_digest
-from repro.campaign.scheduler import CampaignRunner
-from repro.campaign.spec import CampaignSpec
-from repro.scenario.config import MonitorMode, ScenarioConfig, WorkloadSpec
-from repro.scenario.results import ScenarioResult
-from repro.scenario.runner import run_scenario
+from repro.api import (
+    CampaignRunner,
+    CampaignSpec,
+    MonitorMode,
+    ScenarioConfig,
+    ScenarioResult,
+    WorkloadSpec,
+    run_scenario,
+)
 
 #: Cache so parametrised benches that need the same scenario reuse one run,
 #: keyed by the full-config content hash (every field participates).

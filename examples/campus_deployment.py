@@ -15,9 +15,7 @@ Run:
 """
 
 from repro.monitor import health, metrics
-from repro.monitor.dashboard import Dashboard
-from repro.scenario.config import ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import Scenario
+from repro.api import Dashboard, Scenario, ScenarioConfig, WorkloadSpec
 from repro.sim.topology import Placement
 from repro.workloads.generators import BurstyWorkload, EventWorkload, PeriodicWorkload
 

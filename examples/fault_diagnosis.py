@@ -15,11 +15,16 @@ Run:
 
 from repro.analysis.anomaly import detect_anomalies
 from repro.monitor import health
-from repro.monitor.alerts import AlertEngine, SilentNodeRule
-from repro.monitor.client import MonitorClient, MonitorClientConfig
-from repro.monitor.dashboard import Dashboard
-from repro.scenario.config import ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import Scenario
+from repro.api import (
+    AlertEngine,
+    Dashboard,
+    MonitorClient,
+    MonitorClientConfig,
+    Scenario,
+    ScenarioConfig,
+    WorkloadSpec,
+)
+from repro.monitor.alerts import SilentNodeRule
 
 VICTIM = 13  # centre of the 5x5 grid: the busiest relay
 

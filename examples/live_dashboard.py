@@ -16,11 +16,16 @@ import sys
 import time
 import urllib.request
 
-from repro.monitor.dashboard import Dashboard
-from repro.monitor.httpapi import MonitoringHttpServer
-from repro.monitor.records import Direction, PacketRecord, RecordBatch
-from repro.scenario.config import ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import run_scenario
+from repro.api import (
+    Dashboard,
+    Direction,
+    MonitoringHttpServer,
+    PacketRecord,
+    RecordBatch,
+    ScenarioConfig,
+    WorkloadSpec,
+    run_scenario,
+)
 
 
 def fetch(url: str):

@@ -26,8 +26,7 @@ from repro.monitor.export import (
     export_status_records_csv,
     import_jsonl,
 )
-from repro.scenario.config import ScenarioConfig, WorkloadSpec
-from repro.scenario.runner import run_scenario
+from repro.api import ScenarioConfig, WorkloadSpec, run_scenario
 from repro.sim.topology import Placement
 
 

@@ -11,7 +11,7 @@ Run:
 """
 
 from repro import ScenarioConfig, WorkloadSpec, run_scenario
-from repro.monitor.dashboard import Dashboard
+from repro.api import Dashboard
 
 
 def main() -> None:

@@ -1,0 +1,150 @@
+"""The supported public surface of ``repro``, in one flat namespace.
+
+Downstream code — experiment scripts, notebooks, benchmarks, external
+tooling — should import from here::
+
+    from repro.api import ScenarioConfig, run_scenario, MonitorServer
+
+Everything in ``__all__`` below is covered by the compatibility promise:
+names stay importable from this module across minor versions, with
+deprecation shims (and a release-notes entry) before any removal.  The
+implementation modules (``repro.monitor.server``, ``repro.scenario.runner``,
+...) remain importable but are *internal*: their layout may change
+without notice, and :mod:`repro.lint` rule RL007 flags deep imports of
+facade names from tests and benchmarks.
+
+The facade is organised by layer:
+
+* **Simulation** — :class:`Simulator`, :class:`MeshConfig`,
+  :class:`LoRaParams`, :func:`time_on_air`.
+* **Scenarios** — :func:`run_scenario`, :class:`Scenario`,
+  :class:`ScenarioConfig`, :class:`ScenarioResult`, :class:`GroundTruth`,
+  workload/mobility/fault specs.
+* **Campaigns** — :class:`CampaignSpec`, :class:`CampaignPlan`,
+  :class:`CampaignRunner`, :func:`aggregate_report`.
+* **Monitoring** — client (:class:`MonitorClient`), uplinks, the
+  multi-tenant :class:`MonitorServer` + :class:`NetworkRegistry`, stores,
+  dashboard, HTTP server and the v1 API schema.
+* **Observability** — :class:`FlightRecorder`, :class:`SpanProfiler`,
+  trace export/replay.
+"""
+
+from __future__ import annotations
+
+from repro import __version__
+from repro.campaign.aggregate import aggregate_report
+from repro.campaign.scheduler import CampaignPlan, CampaignRunner
+from repro.campaign.spec import CampaignSpec, RunSpec
+from repro.errors import ReproError
+from repro.mesh import BROADCAST, MeshConfig, MeshNode, Packet, PacketType
+from repro.monitor.alerts import Alert, AlertEngine
+from repro.monitor.client import MonitorClient, MonitorClientConfig
+from repro.monitor.dashboard import Dashboard
+from repro.monitor.fleet import fleet_overview, network_tile
+from repro.monitor.httpapi import MonitoringHttpServer
+from repro.monitor.ingest import (
+    DEFAULT_NETWORK_ID,
+    BackpressurePolicy,
+    IngestResult,
+    ServerSelfMetrics,
+)
+from repro.monitor.records import Direction, PacketRecord, RecordBatch, StatusRecord
+from repro.monitor.registry import NetworkRegistry, NetworkShard
+from repro.monitor.routes import schema_document
+from repro.monitor.server import MonitorServer
+from repro.monitor.sqlitestore import SqliteMetricsStore, sqlite_store_factory
+from repro.monitor.storage import MetricsStore
+from repro.monitor.uplink import (
+    GatewayBridge,
+    HttpIngestClient,
+    InBandUplink,
+    OutOfBandUplink,
+    ReliableInBandUplink,
+)
+from repro.obs.ndjson import export_trace, read_trace, replay_into_recorder
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import SpanProfiler
+from repro.phy import LoRaParams, time_on_air
+from repro.scenario.config import MobilitySpec, MonitorMode, ScenarioConfig, WorkloadSpec
+from repro.scenario.faults import (
+    BatteryDepletion,
+    FaultSchedule,
+    LinkDegradation,
+    NodeCrash,
+)
+from repro.scenario.results import GroundTruth, ScenarioResult
+from repro.scenario.runner import Scenario, run_scenario
+from repro.sim import Simulator
+
+__all__ = [
+    # version / errors
+    "__version__",
+    "ReproError",
+    # simulation substrate
+    "Simulator",
+    "LoRaParams",
+    "time_on_air",
+    "MeshConfig",
+    "MeshNode",
+    "Packet",
+    "PacketType",
+    "BROADCAST",
+    # scenarios
+    "run_scenario",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "GroundTruth",
+    "MonitorMode",
+    "WorkloadSpec",
+    "MobilitySpec",
+    "FaultSchedule",
+    "NodeCrash",
+    "LinkDegradation",
+    "BatteryDepletion",
+    # campaigns
+    "CampaignSpec",
+    "RunSpec",
+    "CampaignPlan",
+    "CampaignRunner",
+    "aggregate_report",
+    # monitoring: records and client
+    "Direction",
+    "PacketRecord",
+    "StatusRecord",
+    "RecordBatch",
+    "MonitorClient",
+    "MonitorClientConfig",
+    # monitoring: uplinks
+    "OutOfBandUplink",
+    "InBandUplink",
+    "ReliableInBandUplink",
+    "GatewayBridge",
+    "HttpIngestClient",
+    # monitoring: server and multi-tenancy
+    "MonitorServer",
+    "BackpressurePolicy",
+    "IngestResult",
+    "ServerSelfMetrics",
+    "DEFAULT_NETWORK_ID",
+    "NetworkRegistry",
+    "NetworkShard",
+    "fleet_overview",
+    "network_tile",
+    # monitoring: stores
+    "MetricsStore",
+    "SqliteMetricsStore",
+    "sqlite_store_factory",
+    # monitoring: views and HTTP
+    "Dashboard",
+    "Alert",
+    "AlertEngine",
+    "MonitoringHttpServer",
+    "schema_document",
+    # observability
+    "FlightRecorder",
+    "SpanProfiler",
+    "export_trace",
+    "read_trace",
+    "replay_into_recorder",
+]

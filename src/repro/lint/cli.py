@@ -26,7 +26,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "AST-based determinism & resource-safety linter for the repro "
-            "tree (rules RL001-RL006; see docs/STATIC_ANALYSIS.md)"
+            "tree (rules RL001-RL007; see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(

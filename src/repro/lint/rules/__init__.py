@@ -6,6 +6,7 @@ rule; each module's docstring carries the rule's rationale.
 """
 
 from repro.lint.rules import (  # noqa: F401  - imported for registration
+    facade,
     floatcmp,
     lifecycle,
     mutable_defaults,
@@ -15,6 +16,7 @@ from repro.lint.rules import (  # noqa: F401  - imported for registration
 )
 
 __all__ = [
+    "facade",
     "floatcmp",
     "lifecycle",
     "mutable_defaults",

@@ -17,13 +17,19 @@ Server side:
   SQLite-backed :class:`~repro.monitor.sqlitestore.SqliteMetricsStore`,
   whose buffered ``executemany`` write path is the high-throughput
   ingestion knob) through a bounded ingest queue with a configurable
-  :class:`~repro.monitor.server.BackpressurePolicy`; the pipeline's own
-  :class:`~repro.monitor.server.ServerSelfMetrics` are served at
-  ``GET /api/server`` ("monitor the monitor"),
+  :class:`~repro.monitor.ingest.BackpressurePolicy`; the pipeline's own
+  :class:`~repro.monitor.ingest.ServerSelfMetrics` are served at
+  ``GET /api/v1/server`` ("monitor the monitor"),
+* the server is **multi-tenant**: each batch carries a ``network_id``
+  (implicitly ``default``) and lands in its network's shard — own store,
+  dedup windows and counters — managed by a
+  :class:`~repro.monitor.registry.NetworkRegistry`;
+  :mod:`~repro.monitor.fleet` aggregates the fleet overview,
 * :mod:`~repro.monitor.metrics` computes the aggregations the dashboard
   shows (PDR, link quality, traffic matrix, airtime, latency),
 * :class:`~repro.monitor.dashboard.Dashboard` renders text/DOT/JSON views,
-* :mod:`~repro.monitor.httpapi` serves the JSON API over real HTTP,
+* :mod:`~repro.monitor.httpapi` serves the versioned, network-scoped
+  JSON API (:mod:`~repro.monitor.routes`) over real HTTP,
 * :class:`~repro.monitor.alerts.AlertEngine` raises operational alerts,
 * :mod:`~repro.monitor.health` scores per-node and network health.
 """
@@ -31,17 +37,20 @@ Server side:
 from repro.monitor.alerts import Alert, AlertEngine
 from repro.monitor.client import MonitorClient, MonitorClientConfig
 from repro.monitor.dashboard import Dashboard
-from repro.monitor.records import Direction, PacketRecord, RecordBatch, StatusRecord
-from repro.monitor.server import (
+from repro.monitor.ingest import (
+    DEFAULT_NETWORK_ID,
     BackpressurePolicy,
     IngestResult,
-    MonitorServer,
     ServerSelfMetrics,
 )
+from repro.monitor.records import Direction, PacketRecord, RecordBatch, StatusRecord
+from repro.monitor.registry import NetworkRegistry, NetworkShard
+from repro.monitor.server import MonitorServer
 from repro.monitor.sqlitestore import SqliteMetricsStore
 from repro.monitor.storage import MetricsStore
 from repro.monitor.uplink import (
     GatewayBridge,
+    HttpIngestClient,
     InBandUplink,
     OutOfBandUplink,
     ReliableInBandUplink,
@@ -61,9 +70,13 @@ __all__ = [
     "IngestResult",
     "MonitorServer",
     "ServerSelfMetrics",
+    "DEFAULT_NETWORK_ID",
+    "NetworkRegistry",
+    "NetworkShard",
     "MetricsStore",
     "SqliteMetricsStore",
     "GatewayBridge",
+    "HttpIngestClient",
     "InBandUplink",
     "OutOfBandUplink",
     "ReliableInBandUplink",

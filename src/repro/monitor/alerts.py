@@ -4,6 +4,11 @@ Rules inspect the store and report *conditions*; the engine turns
 conditions into stateful alerts (raised once, cleared when the condition
 disappears, kept in history) — what a network administrator watching the
 paper's dashboard would act on.
+
+An engine watches one store; a multi-tenant server gives each network
+its own store (and the HTTP layer its own engine), so alert state never
+crosses tenants — node 7 going silent on campus A raises nothing for
+node 7 on campus B.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ from typing import Deque, Optional
 from repro.errors import ConfigurationError
 from repro.mesh.node import MeshNode
 from repro.mesh.packet import Packet, PacketType, crc16_ccitt
+from repro.monitor.ingest import DEFAULT_NETWORK_ID, validate_network_id
 from repro.monitor.records import (
     Direction,
     NeighborObservation,
@@ -69,6 +70,10 @@ class MonitorClientConfig:
             destination's IN record of the same packet to survive.
             Status records are never sampled.
         start_jitter_s: spread the first flush of different nodes in time.
+        network_id: mesh network this node reports under; batches are
+            stamped with it so a multi-tenant server routes them to the
+            right shard.  The default keeps single-network deployments
+            on the legacy wire format.
     """
 
     report_interval_s: float = 60.0
@@ -82,8 +87,13 @@ class MonitorClientConfig:
     capture_out: bool = True
     packet_sample_rate: float = 1.0
     start_jitter_s: float = 5.0
+    network_id: str = DEFAULT_NETWORK_ID
 
     def __post_init__(self) -> None:
+        try:
+            validate_network_id(self.network_id)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
         if self.report_interval_s <= 0:
             raise ConfigurationError(
                 f"report_interval_s must be > 0, got {self.report_interval_s}"
@@ -293,6 +303,7 @@ class MonitorClient:
             packet_records=packet_records,
             status_records=status_records,
             dropped_records=self._dropped_since_last_batch,
+            network_id=self.config.network_id,
         )
         self._awaiting_result = True
         self.stats.batches_sent += 1

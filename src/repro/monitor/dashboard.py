@@ -55,6 +55,7 @@ class Dashboard:
         report_interval_s: float = 60.0,
         monitor_server: Optional[Any] = None,
         flight_recorder: Optional["FlightRecorder"] = None,
+        network_id: Optional[str] = None,
     ) -> None:
         """Args:
             store: the metrics store to render.
@@ -66,12 +67,16 @@ class Dashboard:
             flight_recorder: optional :class:`~repro.obs.recorder.FlightRecorder`
                 feeding the ``[drops]`` panel (message verdicts and drop
                 accounting); omit to hide the panel.
+            network_id: label when this dashboard renders one network of
+                a multi-tenant server; None keeps the single-network
+                output byte-identical.
         """
         self.store = store
         self.alerts = alert_engine if alert_engine is not None else AlertEngine(store)
         self.report_interval_s = report_interval_s
         self.monitor_server = monitor_server
         self.flight_recorder = flight_recorder
+        self.network_id = network_id
 
     # -- panels ------------------------------------------------------------------
 
@@ -151,7 +156,8 @@ class Dashboard:
     def render_text(self, now: float) -> str:
         """Full terminal dashboard."""
         self.alerts.evaluate(now)
-        sections = [f"=== LoRa mesh monitor @ t={now:.0f}s ==="]
+        label = "" if self.network_id is None else f" [{self.network_id}]"
+        sections = [f"=== LoRa mesh monitor{label} @ t={now:.0f}s ==="]
 
         node_rows = self.node_rows(now)
         sections.append("\n[nodes]")
@@ -298,9 +304,17 @@ class Dashboard:
         return "\n".join(lines)
 
     def to_json_dict(self, now: float) -> Dict[str, Any]:
-        """Structured dashboard document (the HTTP API response body)."""
+        """Structured dashboard document (the HTTP API response body).
+
+        The ``network`` key appears only for labelled (multi-tenant)
+        dashboards so the single-network document stays byte-identical.
+        """
         self.alerts.evaluate(now)
+        document: Dict[str, Any] = {}
+        if self.network_id is not None:
+            document["network"] = self.network_id
         return {
+            **document,
             "now": now,
             "network_health": health_mod.network_health_score(
                 self.store, now, self.report_interval_s

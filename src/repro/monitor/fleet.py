@@ -1,0 +1,93 @@
+"""Fleet-level aggregation across every network a server monitors.
+
+One monitoring server ingests telemetry from many independent mesh
+networks (the smart-campus deployment shape); the fleet overview is the
+operator's first screen: one tile per network — node count, health,
+PDR, ingest counters, last activity — plus fleet totals and the top-N
+unhealthiest networks that deserve attention first.
+
+Everything here is computed from the per-network shards the server
+already maintains; there is no fleet-level store.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.monitor import metrics
+from repro.monitor.health import network_health_score
+
+if TYPE_CHECKING:
+    from repro.monitor.server import MonitorServer
+
+
+def network_tile(
+    server: "MonitorServer",
+    network_id: str,
+    now: float,
+    report_interval_s: float = 60.0,
+    pdr_window_s: float = 1800.0,
+) -> Optional[Dict[str, Any]]:
+    """One network's fleet tile, or None for an unknown network."""
+    shard = server.shard_for(network_id)
+    if shard is None:
+        return None
+    store = shard.store
+    health = network_health_score(store, now, report_interval_s=report_interval_s)
+    pdr = metrics.network_pdr(store, since=now - pdr_window_s, until=now)
+    return {
+        "network": network_id,
+        "nodes": len(store.nodes()),
+        "health": None if math.isnan(health) else round(health, 1),
+        "pdr": None if math.isnan(pdr) else round(pdr, 4),
+        "batches_ingested": shard.batches_ingested,
+        "records_ingested": shard.records_ingested,
+        "dedup_hits": shard.dedup_hits,
+        "queued_batches": shard.queued_batches,
+        "last_batch_at": shard.last_batch_at,
+    }
+
+
+def fleet_overview(
+    server: "MonitorServer",
+    now: float,
+    report_interval_s: float = 60.0,
+    pdr_window_s: float = 1800.0,
+    top_n_unhealthy: int = 5,
+) -> Dict[str, Any]:
+    """The ``GET /api/v1/fleet`` document.
+
+    Keys:
+        now: server time the overview was computed at.
+        networks: one tile per resident network, sorted by id.
+        totals: fleet-wide sums (networks, nodes, batches, records).
+        top_unhealthy: up to ``top_n_unhealthy`` tiles with the lowest
+            defined health score, worst first — the triage list.
+    """
+    tiles: List[Dict[str, Any]] = []
+    for network_id in server.networks():
+        tile = network_tile(
+            server,
+            network_id,
+            now,
+            report_interval_s=report_interval_s,
+            pdr_window_s=pdr_window_s,
+        )
+        if tile is not None:
+            tiles.append(tile)
+    totals = {
+        "networks": len(tiles),
+        "nodes": sum(int(tile["nodes"]) for tile in tiles),
+        "batches_ingested": sum(int(tile["batches_ingested"]) for tile in tiles),
+        "records_ingested": sum(int(tile["records_ingested"]) for tile in tiles),
+        "network_evictions": server.registry.evictions,
+    }
+    scored = [tile for tile in tiles if tile["health"] is not None]
+    scored.sort(key=lambda tile: float(tile["health"]))
+    return {
+        "now": now,
+        "networks": tiles,
+        "totals": totals,
+        "top_unhealthy": scored[:top_n_unhealthy],
+    }

@@ -1,28 +1,36 @@
 """HTTP JSON API over the dashboard — the real wire path of the paper.
 
-A stdlib ``ThreadingHTTPServer`` exposing:
+A stdlib ``ThreadingHTTPServer`` dispatching from the declarative route
+table in :mod:`repro.monitor.routes`.  The supported surface is the
+versioned, network-scoped ``/api/v1/...`` API:
 
-====================  =====================================================
-``GET  /``            Rich HTML dashboard (tiles, SVG topology, tables)
-``GET  /text``        Plain-text dashboard wrapped in ``<pre>``
-``GET  /api/summary`` Full dashboard document
-``GET  /api/nodes``   Node table
-``GET  /api/links``   Link-quality table
-``GET  /api/delivery`` PDR/latency per pair
-``GET  /api/alerts``  Active alerts
-``GET  /api/health``  Per-node health scores
-``GET  /api/history`` Rolled-up time series:
-                      ``?node=N&field=queue_depth&interval=300`` for a
-                      status field, ``?node=N&interval=300`` (no field)
-                      for the packet rate
-``GET  /api/server``  Server self-metrics ("monitor the monitor"):
-                      ingest/dedup/decode counters, queue depth and
-                      high-water mark, store flush latencies
-``POST /api/ingest``  Ingest one JSON record batch (what a real ESP32
-                      client would POST over WiFi).  Replies 503 with a
-                      ``Retry-After`` header when the ingest queue is
-                      full (REJECT backpressure) — clients retry later
-====================  =====================================================
+==========================================  =================================
+``GET  /api/v1/schema``                     Machine-readable route catalogue
+``GET  /api/v1/fleet``                      Fleet overview (tiles, totals,
+                                            top-N unhealthy networks)
+``GET  /api/v1/networks``                   Resident network ids
+``GET  /api/v1/server``                     Server self-metrics
+``GET  /api/v1/networks/<id>``              One network's ingest counters
+``GET  /api/v1/networks/<id>/summary``      Full dashboard document
+``GET  /api/v1/networks/<id>/nodes``        Node table
+``GET  /api/v1/networks/<id>/links``        Link-quality table
+``GET  /api/v1/networks/<id>/delivery``     PDR/latency per pair
+``GET  /api/v1/networks/<id>/alerts``       Active alerts
+``GET  /api/v1/networks/<id>/health``       Per-node health scores
+``GET  /api/v1/networks/<id>/history``      Rolled-up time series
+``GET  /api/v1/networks/<id>/dot``          Graphviz topology
+``POST /api/v1/networks/<id>/ingest``       Ingest one JSON record batch
+                                            (503 + ``Retry-After`` under
+                                            backpressure)
+==========================================  =================================
+
+plus the HTML pages ``/`` (default network), ``/fleet``,
+``/networks/<id>`` and ``/text``.
+
+Every pre-v1 ``/api/*`` path still works as a **legacy alias** bound to
+the ``default`` network: it runs the same handler and returns a
+byte-identical body, adding ``Deprecation: true`` and a ``Link`` header
+that names the successor route.
 
 The server needs a *clock* callable so it works both against a live
 simulation (pass ``lambda: sim.now``) and in real time (default:
@@ -36,10 +44,21 @@ import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.monitor import fleet as fleet_mod
 from repro.monitor import health as health_mod
 from repro.monitor.dashboard import Dashboard
+from repro.monitor.ingest import DEFAULT_NETWORK_ID, is_valid_network_id
+from repro.monitor.routes import (
+    DEPRECATION_HEADER_VALUE,
+    LEGACY_ALIASES,
+    ROUTES,
+    Route,
+    route_by_name,
+    schema_document,
+    successor_path,
+)
 from repro.monitor.server import MonitorServer
 
 _INDEX_HTML = """<!DOCTYPE html>
@@ -48,6 +67,8 @@ _INDEX_HTML = """<!DOCTYPE html>
 <style>body{font-family:monospace;background:#111;color:#ddd;padding:1em}</style>
 </head><body><pre>%s</pre></body></html>
 """
+
+_Headers = Tuple[Tuple[str, str], ...]
 
 
 def _sanitize(value: Any) -> Any:
@@ -75,13 +96,15 @@ class MonitoringHttpServer:
         """Create (but do not start) the HTTP server.
 
         Args:
-            monitor_server: ingestion backend for POST /api/ingest.
-            dashboard: view layer for the GET endpoints.
+            monitor_server: ingestion backend for the ingest routes.
+            dashboard: view layer for the ``default`` network; other
+                networks get dashboards built lazily from their shards.
             host/port: bind address; port 0 picks a free port.
             clock: "now" provider for dashboard rendering.
         """
         self.monitor_server = monitor_server
         self.dashboard = dashboard
+        self._dashboards: Dict[str, Dashboard] = {DEFAULT_NETWORK_ID: dashboard}
         if clock is None:
             start = time.monotonic()
             clock = lambda: time.monotonic() - start  # noqa: E731 - tiny closure
@@ -112,6 +135,31 @@ class MonitoringHttpServer:
             self._thread.join(timeout=5.0)
             self._thread = None
 
+    def dashboard_for(self, network_id: str) -> Optional[Dashboard]:
+        """The (lazily built) dashboard of one network, None if unknown.
+
+        The ``default`` network always resolves to the injected
+        dashboard; other networks get a view over their shard's store
+        the first time they are asked for.
+        """
+        if network_id == DEFAULT_NETWORK_ID:
+            return self.dashboard
+        store = self.monitor_server.store_for(network_id)
+        if store is None:
+            self._dashboards.pop(network_id, None)
+            return None
+        cached = self._dashboards.get(network_id)
+        if cached is not None and cached.store is store:
+            return cached
+        dashboard = Dashboard(
+            store,
+            report_interval_s=self.dashboard.report_interval_s,
+            monitor_server=self.monitor_server,
+            network_id=network_id,
+        )
+        self._dashboards[network_id] = dashboard
+        return dashboard
+
     def _make_handler(self) -> type:
         api = self
 
@@ -120,84 +168,217 @@ class MonitoringHttpServer:
             def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
                 pass
 
-            def _send(self, code: int, body: bytes, content_type: str) -> None:
+            # -- plumbing -----------------------------------------------------
+
+            def _send(
+                self,
+                code: int,
+                body: bytes,
+                content_type: str,
+                extra_headers: _Headers = (),
+            ) -> None:
                 self.send_response(code)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
+                for name, value in extra_headers:
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(body)
 
-            def _send_json(self, document: Any, code: int = 200) -> None:
+            def _send_json(
+                self,
+                document: Any,
+                code: int = 200,
+                extra_headers: _Headers = (),
+            ) -> None:
                 body = json.dumps(_sanitize(document), indent=1).encode("utf-8")
-                self._send(code, body, "application/json")
+                self._send(code, body, "application/json", extra_headers)
 
-            def _query_params(self) -> dict:
+            def _query_params(self) -> Dict[str, str]:
                 from urllib.parse import parse_qs, urlsplit
                 raw = urlsplit(self.path).query
                 return {key: values[0] for key, values in parse_qs(raw).items()}
 
-            def do_GET(self) -> None:  # noqa: N802 - http.server API
-                now = api._clock()
-                path = self.path.split("?", 1)[0].rstrip("/") or "/"
-                if path == "/":
-                    from repro.monitor.webview import render_html
-                    page = render_html(api.dashboard, now)
-                    self._send(200, page.encode("utf-8"), "text/html")
-                elif path == "/text":
-                    text = api.dashboard.render_text(now)
-                    self._send(200, (_INDEX_HTML % text).encode("utf-8"), "text/html")
-                elif path == "/api/summary":
-                    self._send_json(api.dashboard.to_json_dict(now))
-                elif path == "/api/nodes":
-                    self._send_json(api.dashboard.node_rows(now))
-                elif path == "/api/links":
-                    self._send_json(api.dashboard.link_rows())
-                elif path == "/api/delivery":
-                    self._send_json(api.dashboard.pdr_rows())
-                elif path == "/api/alerts":
-                    api.dashboard.alerts.evaluate(now)
-                    self._send_json(
-                        [
-                            {
-                                "rule": alert.rule,
-                                "node": alert.node,
-                                "severity": alert.severity,
-                                "message": alert.message,
-                                "raised_at": alert.raised_at,
-                            }
-                            for alert in api.dashboard.alerts.active()
-                        ]
-                    )
-                elif path == "/api/health":
-                    scores = health_mod.network_health(api.dashboard.store, now)
-                    self._send_json(
-                        {
-                            str(node): {
-                                "score": score.score,
-                                "liveness": score.liveness,
-                                "delivery": score.delivery,
-                                "spectrum": score.spectrum,
-                                "battery": score.battery,
-                            }
-                            for node, score in scores.items()
-                        }
-                    )
-                elif path == "/api/server":
-                    self._send_json(api.monitor_server.self_metrics_document())
-                elif path == "/api/history":
-                    self._history()
-                elif path == "/api/dot":
-                    self._send(200, api.dashboard.render_dot().encode("utf-8"), "text/plain")
-                else:
-                    self._send_json({"error": "not found"}, code=404)
+            # -- dispatch -----------------------------------------------------
 
-            def _history(self) -> None:
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                self._dispatch("GET")
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server API
+                self._dispatch("POST")
+
+            def _dispatch(self, method: str) -> None:
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                legacy_route = LEGACY_ALIASES.get(path)
+                if legacy_route is not None:
+                    route = route_by_name(legacy_route)
+                    if route.method == method:
+                        headers: _Headers = (
+                            ("Deprecation", DEPRECATION_HEADER_VALUE),
+                            (
+                                "Link",
+                                f'<{successor_path(path)}>; rel="successor-version"',
+                            ),
+                        )
+                        self._run(route, DEFAULT_NETWORK_ID, headers, legacy=True)
+                        return
+                for route in ROUTES:
+                    params = route.match(method, path)
+                    if params is None:
+                        continue
+                    network = params.get("network", DEFAULT_NETWORK_ID)
+                    if not is_valid_network_id(network):
+                        self._send_json(
+                            {"error": f"invalid network id {network!r}"}, code=400
+                        )
+                        return
+                    self._run(route, network, (), legacy=False)
+                    return
+                self._send_json({"error": "not found"}, code=404)
+
+            def _run(
+                self, route: Route, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                handler = getattr(self, "_h_" + route.name.replace("-", "_"))
+                handler(network, headers, legacy)
+
+            def _network_dashboard(
+                self, network: str, headers: _Headers
+            ) -> Optional[Dashboard]:
+                dashboard = api.dashboard_for(network)
+                if dashboard is None:
+                    self._send_json(
+                        {"error": f"unknown network {network!r}"},
+                        code=404,
+                        extra_headers=headers,
+                    )
+                return dashboard
+
+            # -- fleet-level handlers ----------------------------------------
+
+            def _h_schema(self, network: str, headers: _Headers, legacy: bool) -> None:
+                self._send_json(schema_document(), extra_headers=headers)
+
+            def _h_fleet(self, network: str, headers: _Headers, legacy: bool) -> None:
+                overview = fleet_mod.fleet_overview(
+                    api.monitor_server,
+                    api._clock(),
+                    report_interval_s=api.dashboard.report_interval_s,
+                )
+                self._send_json(overview, extra_headers=headers)
+
+            def _h_networks(self, network: str, headers: _Headers, legacy: bool) -> None:
+                self._send_json(api.monitor_server.networks(), extra_headers=headers)
+
+            def _h_server_metrics(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                self._send_json(
+                    api.monitor_server.self_metrics_document(), extra_headers=headers
+                )
+
+            # -- network-scoped handlers -------------------------------------
+
+            def _h_network_detail(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                document = api.monitor_server.network_document(network)
+                if document is None:
+                    self._send_json(
+                        {"error": f"unknown network {network!r}"},
+                        code=404,
+                        extra_headers=headers,
+                    )
+                    return
+                self._send_json(document, extra_headers=headers)
+
+            def _h_network_summary(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is not None:
+                    self._send_json(
+                        dashboard.to_json_dict(api._clock()), extra_headers=headers
+                    )
+
+            def _h_network_nodes(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is not None:
+                    self._send_json(
+                        dashboard.node_rows(api._clock()), extra_headers=headers
+                    )
+
+            def _h_network_links(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is not None:
+                    self._send_json(dashboard.link_rows(), extra_headers=headers)
+
+            def _h_network_delivery(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is not None:
+                    self._send_json(dashboard.pdr_rows(), extra_headers=headers)
+
+            def _h_network_alerts(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is None:
+                    return
+                now = api._clock()
+                dashboard.alerts.evaluate(now)
+                self._send_json(
+                    [
+                        {
+                            "rule": alert.rule,
+                            "node": alert.node,
+                            "severity": alert.severity,
+                            "message": alert.message,
+                            "raised_at": alert.raised_at,
+                        }
+                        for alert in dashboard.alerts.active()
+                    ],
+                    extra_headers=headers,
+                )
+
+            def _h_network_health(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is None:
+                    return
+                scores = health_mod.network_health(dashboard.store, api._clock())
+                self._send_json(
+                    {
+                        str(node): {
+                            "score": score.score,
+                            "liveness": score.liveness,
+                            "delivery": score.delivery,
+                            "spectrum": score.spectrum,
+                            "battery": score.battery,
+                        }
+                        for node, score in scores.items()
+                    },
+                    extra_headers=headers,
+                )
+
+            def _h_network_history(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
                 from repro.errors import StorageError
                 from repro.monitor.rollup import (
                     rollup_packet_rate,
                     rollup_status_field,
                 )
 
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is None:
+                    return
                 params = self._query_params()
                 try:
                     node = int(params["node"])
@@ -206,6 +387,7 @@ class MonitoringHttpServer:
                     self._send_json(
                         {"error": "need ?node=<int>[&field=...][&interval=<s>]"},
                         code=400,
+                        extra_headers=headers,
                     )
                     return
                 field = params.get("field")
@@ -214,40 +396,64 @@ class MonitoringHttpServer:
                     import dataclasses
                     valid = {f.name for f in dataclasses.fields(StatusRecord)}
                     if field not in valid:
-                        self._send_json({"error": f"unknown status field {field!r}"}, code=400)
+                        self._send_json(
+                            {"error": f"unknown status field {field!r}"},
+                            code=400,
+                            extra_headers=headers,
+                        )
                         return
                 try:
                     if field is None:
                         series = rollup_packet_rate(
-                            api.dashboard.store, interval_s=interval, node=node
+                            dashboard.store, interval_s=interval, node=node
                         )
                     else:
                         series = rollup_status_field(
-                            api.dashboard.store, node=node, field=field,
+                            dashboard.store, node=node, field=field,
                             interval_s=interval,
                         )
                 except StorageError as exc:
-                    self._send_json({"error": str(exc)}, code=400)
+                    self._send_json(
+                        {"error": str(exc)}, code=400, extra_headers=headers
+                    )
                     return
-                self._send_json([
-                    {
-                        "start": bucket.start,
-                        "count": bucket.count,
-                        "mean": bucket.mean,
-                        "min": bucket.minimum,
-                        "max": bucket.maximum,
-                    }
-                    for bucket in series.buckets()
-                ])
+                self._send_json(
+                    [
+                        {
+                            "start": bucket.start,
+                            "count": bucket.count,
+                            "mean": bucket.mean,
+                            "min": bucket.minimum,
+                            "max": bucket.maximum,
+                        }
+                        for bucket in series.buckets()
+                    ],
+                    extra_headers=headers,
+                )
 
-            def do_POST(self) -> None:  # noqa: N802 - http.server API
-                path = self.path.split("?", 1)[0].rstrip("/")
-                if path != "/api/ingest":
-                    self._send_json({"error": "not found"}, code=404)
-                    return
+            def _h_network_dot(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is not None:
+                    self._send(
+                        200,
+                        dashboard.render_dot().encode("utf-8"),
+                        "text/plain",
+                        headers,
+                    )
+
+            def _h_network_ingest(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
                 length = int(self.headers.get("Content-Length", "0"))
                 raw = self.rfile.read(length)
-                result = api.monitor_server.ingest_json(raw)
+                if legacy:
+                    # Pre-v1 behaviour: the batch's own stamp (or its
+                    # absence, meaning ``default``) decides the network.
+                    result = api.monitor_server.ingest_json(raw)
+                else:
+                    result = api.monitor_server.ingest_json(raw, network_id=network)
                 if result.ok:
                     self._send_json(
                         {
@@ -256,7 +462,8 @@ class MonitoringHttpServer:
                             "accepted_packets": result.accepted_packets,
                             "accepted_status": result.accepted_status,
                             "duplicates": result.duplicates,
-                        }
+                        },
+                        extra_headers=headers,
                     )
                 elif result.retry_after_s is not None:
                     # Backpressure: tell the client when to retry.
@@ -266,11 +473,52 @@ class MonitoringHttpServer:
                     ).encode("utf-8")
                     self.send_response(503)
                     self.send_header("Content-Type", "application/json")
-                    self.send_header("Retry-After", str(max(1, int(math.ceil(result.retry_after_s)))))
+                    self.send_header(
+                        "Retry-After",
+                        str(max(1, int(math.ceil(result.retry_after_s)))),
+                    )
                     self.send_header("Content-Length", str(len(body)))
+                    for name, value in headers:
+                        self.send_header(name, value)
                     self.end_headers()
                     self.wfile.write(body)
                 else:
-                    self._send_json({"ok": False, "error": result.error}, code=400)
+                    self._send_json(
+                        {"ok": False, "error": result.error},
+                        code=400,
+                        extra_headers=headers,
+                    )
+
+            # -- ui handlers --------------------------------------------------
+
+            def _h_index(self, network: str, headers: _Headers, legacy: bool) -> None:
+                from repro.monitor.webview import render_html
+                page = render_html(api.dashboard, api._clock())
+                self._send(200, page.encode("utf-8"), "text/html", headers)
+
+            def _h_fleet_page(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                from repro.monitor.webview import render_fleet_html
+                overview = fleet_mod.fleet_overview(
+                    api.monitor_server,
+                    api._clock(),
+                    report_interval_s=api.dashboard.report_interval_s,
+                )
+                page = render_fleet_html(overview)
+                self._send(200, page.encode("utf-8"), "text/html", headers)
+
+            def _h_network_page(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                from repro.monitor.webview import render_html
+                dashboard = self._network_dashboard(network, headers)
+                if dashboard is not None:
+                    page = render_html(dashboard, api._clock(), network_id=network)
+                    self._send(200, page.encode("utf-8"), "text/html", headers)
+
+            def _h_text(self, network: str, headers: _Headers, legacy: bool) -> None:
+                text = api.dashboard.render_text(api._clock())
+                self._send(200, (_INDEX_HTML % text).encode("utf-8"), "text/html", headers)
 
         return Handler

@@ -1,0 +1,164 @@
+"""Ingestion-pipeline primitives shared by the monitoring server.
+
+Split out of :mod:`repro.monitor.server` when the server went
+multi-tenant (one server, many mesh networks): these are the wire-level
+building blocks — the backpressure policy, the per-batch result, the
+wire/self-metrics counters and the bounded dedup window — that every
+per-network shard reuses.  Importing them from
+``repro.monitor.server`` still works but emits a
+``DeprecationWarning``; the supported import paths are this module and
+the :mod:`repro.api` facade.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Optional, Set
+
+#: The implicit network single-network deployments live in.  Every API
+#: that grew a ``network_id`` parameter defaults to this, so pre-fleet
+#: callers keep working unchanged.
+DEFAULT_NETWORK_ID = "default"
+
+#: Network ids appear in URLs, file names (per-network SQLite stores)
+#: and JSON keys, so they are restricted to a conservative token.
+_NETWORK_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+def is_valid_network_id(network_id: str) -> bool:
+    """True when ``network_id`` is a legal network identifier."""
+    return bool(_NETWORK_ID_RE.match(network_id))
+
+
+def validate_network_id(network_id: str) -> str:
+    """Return ``network_id`` or raise ``ValueError`` for an illegal one."""
+    if not isinstance(network_id, str) or not is_valid_network_id(network_id):
+        raise ValueError(
+            f"invalid network id {network_id!r}: expected 1-64 characters "
+            "from [A-Za-z0-9_.-], starting with an alphanumeric"
+        )
+    return network_id
+
+
+class BackpressurePolicy(Enum):
+    """What a full ingest queue does with the next batch."""
+
+    #: Refuse the batch; the result carries ``retry_after_s`` so the
+    #: client backs off and retries (at-least-once uplinks redeliver).
+    REJECT = "reject"
+    #: Evict the oldest queued batch to admit the new one.  Bounded
+    #: staleness for a live dashboard; the evicted batch is lost unless
+    #: the client retries it.
+    DROP_OLDEST = "drop_oldest"
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one batch ingestion."""
+
+    ok: bool
+    accepted_packets: int = 0
+    accepted_status: int = 0
+    duplicates: int = 0
+    error: Optional[str] = None
+    #: True when the batch was admitted to the ingest queue but not yet
+    #: processed (``autodrain=False``); counts arrive after drain().
+    queued: bool = False
+    #: Backpressure hint: seconds the client should wait before retrying.
+    retry_after_s: Optional[float] = None
+
+
+@dataclass
+class ServerStats:
+    """Server-side counters (historical shape, kept for compatibility)."""
+
+    batches_ok: int = 0
+    batches_rejected: int = 0
+    records_accepted: int = 0
+    duplicates: int = 0
+    bytes_received: int = 0
+
+
+@dataclass
+class ServerSelfMetrics:
+    """Ingestion-pipeline self-metrics ("monitor the monitor").
+
+    Everything needed to answer "is the monitoring server itself
+    healthy?" — exposed over ``GET /api/v1/server`` (and the legacy
+    ``GET /api/server`` alias) and on the dashboard.
+    """
+
+    batches_ingested: int = 0
+    packet_records_ingested: int = 0
+    status_records_ingested: int = 0
+    dedup_hits: int = 0
+    foreign_records_rejected: int = 0
+    decode_failures: int = 0
+    batches_rejected: int = 0          # backpressure refusals (REJECT)
+    batches_dropped: int = 0           # queue evictions (DROP_OLDEST)
+    #: Batches refused because one network exhausted its queue quota
+    #: while the global queue still had room (noisy-neighbour control).
+    quota_rejections: int = 0
+    queue_high_water: int = 0
+    store_flushes: int = 0
+    flush_latency_last_s: float = 0.0
+    flush_latency_max_s: float = 0.0
+    flush_latency_total_s: float = 0.0
+
+    def note_flush(self, latency_s: float) -> None:
+        self.store_flushes += 1
+        self.flush_latency_last_s = latency_s
+        self.flush_latency_max_s = max(self.flush_latency_max_s, latency_s)
+        self.flush_latency_total_s += latency_s
+
+    @property
+    def records_ingested(self) -> int:
+        return self.packet_records_ingested + self.status_records_ingested
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "batches_ingested": self.batches_ingested,
+            "records_ingested": self.records_ingested,
+            "packet_records_ingested": self.packet_records_ingested,
+            "status_records_ingested": self.status_records_ingested,
+            "dedup_hits": self.dedup_hits,
+            "foreign_records_rejected": self.foreign_records_rejected,
+            "decode_failures": self.decode_failures,
+            "batches_rejected": self.batches_rejected,
+            "batches_dropped": self.batches_dropped,
+            "quota_rejections": self.quota_rejections,
+            "queue_high_water": self.queue_high_water,
+            "store_flushes": self.store_flushes,
+            "flush_latency_last_ms": self.flush_latency_last_s * 1000.0,
+            "flush_latency_max_ms": self.flush_latency_max_s * 1000.0,
+            "flush_latency_total_ms": self.flush_latency_total_s * 1000.0,
+        }
+
+
+class SeqWindow:
+    """Bounded per-node set of recently seen record sequence numbers.
+
+    Sequence numbers are monotonically increasing per client, so keeping
+    the recent window plus a low-water mark gives exact deduplication with
+    bounded memory: anything at or below the mark has been seen.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self._capacity = capacity
+        self._seen: Set[int] = set()
+        self._low_water = -1
+
+    def check_and_add(self, seq: int) -> bool:
+        """Record ``seq``; return True when it is new."""
+        if seq <= self._low_water or seq in self._seen:
+            return False
+        self._seen.add(seq)
+        if len(self._seen) > self._capacity:
+            # Advance the low-water mark past the densest prefix.
+            ordered = sorted(self._seen)
+            cut = len(ordered) // 2
+            self._low_water = ordered[cut - 1]
+            self._seen = set(ordered[cut:])
+        return True

@@ -12,6 +12,11 @@ and status records:
 * per-packet route reconstruction (which nodes transmitted the packet),
 * traffic composition by packet type,
 * the network graph as reported by the nodes' own neighbor tables.
+
+Every function takes one store, and on a multi-tenant server each
+network has its own store (its shard), so all aggregations here are
+naturally network-scoped — nothing ever mixes tenants; fleet-level
+rollups live in :mod:`repro.monitor.fleet`.
 """
 
 from __future__ import annotations

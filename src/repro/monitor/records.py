@@ -33,6 +33,11 @@ from enum import Enum
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import DecodeError, EncodeError
+from repro.monitor.ingest import (
+    DEFAULT_NETWORK_ID,
+    is_valid_network_id,
+    validate_network_id,
+)
 
 SCHEMA_VERSION = 1
 
@@ -393,6 +398,14 @@ class RecordBatch:
     #: Packet records the client dropped because its buffer overflowed
     #: before this batch (lets the server quantify observation loss).
     dropped_records: int = 0
+    #: Mesh network this batch belongs to.  Single-network deployments
+    #: leave the default; the server routes each batch to its network's
+    #: shard.  The JSON wire format only carries the key for non-default
+    #: networks, so legacy bodies stay byte-identical.
+    network_id: str = DEFAULT_NETWORK_ID
+
+    def __post_init__(self) -> None:
+        validate_network_id(self.network_id)
 
     @property
     def record_count(self) -> int:
@@ -409,6 +422,8 @@ class RecordBatch:
             "packets": [r.to_json_dict() for r in self.packet_records],
             "status": [r.to_json_dict() for r in self.status_records],
         }
+        if self.network_id != DEFAULT_NETWORK_ID:
+            document["net"] = self.network_id
         return json.dumps(document, separators=(",", ":")).encode("utf-8")
 
     @classmethod
@@ -427,6 +442,7 @@ class RecordBatch:
             batch_seq = int(document["batch_seq"])
             sent_at = float(document["sent_at"])
             dropped = int(document.get("dropped", 0))
+            network_id = document.get("net", DEFAULT_NETWORK_ID)
             packets = tuple(
                 PacketRecord.from_json_dict(item) for item in document.get("packets", [])
             )
@@ -435,6 +451,8 @@ class RecordBatch:
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise DecodeError(f"bad batch fields: {exc}") from exc
+        if not isinstance(network_id, str) or not is_valid_network_id(network_id):
+            raise DecodeError(f"bad network id {network_id!r}")
         return cls(
             node=node,
             batch_seq=batch_seq,
@@ -442,6 +460,7 @@ class RecordBatch:
             packet_records=packets,
             status_records=status,
             dropped_records=dropped,
+            network_id=network_id,
         )
 
     _BINARY_HEADER = "!HBHHIHHB"

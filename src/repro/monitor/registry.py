@@ -1,0 +1,173 @@
+"""Per-network shard management for the multi-tenant monitoring server.
+
+The production deployment shape is one monitoring server ingesting
+telemetry from **many independent LoRa mesh networks** (a fleet of
+smart-campus sites, say).  Records from different networks must never
+mix: node ``7`` on campus A and node ``7`` on campus B are different
+radios.  The :class:`NetworkRegistry` therefore gives every network its
+own :class:`NetworkShard` — a private metrics store plus the per-node
+dedup windows and ingest counters that go with it — created lazily on
+the first batch from that network.
+
+Scaling knobs
+-------------
+
+* ``max_networks`` bounds resident shards; when a new network would
+  exceed the bound the least-recently-active *idle* shard is evicted
+  (flushed, closed, forgotten).  A network that reports again later
+  simply gets a fresh shard — telemetry is a rolling window anyway.
+* Each shard counts its queued-but-unprocessed batches so the server
+  can enforce a per-network ingest-queue quota: one noisy network
+  saturating the global queue cannot starve the rest of the fleet.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.monitor.ingest import DEFAULT_NETWORK_ID, SeqWindow
+from repro.monitor.storage import MetricsStore
+
+StoreFactory = Callable[[str], MetricsStore]
+
+
+class NetworkShard:
+    """One network's slice of the server: store, dedup state, counters."""
+
+    def __init__(self, network_id: str, store: MetricsStore) -> None:
+        self.network_id = network_id
+        self.store = store
+        #: Per-node dedup windows, private to this network — the same
+        #: node address in two networks never shares a window.
+        self.packet_windows: Dict[int, SeqWindow] = {}
+        self.status_windows: Dict[int, SeqWindow] = {}
+        #: Batches admitted to the server queue but not yet processed.
+        self.queued_batches = 0
+        #: Server clock of the last processed batch (None before any).
+        self.last_batch_at: Optional[float] = None
+        self.batches_ingested = 0
+        self.records_ingested = 0
+        self.dedup_hits = 0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Per-network ingest counters for the fleet/summary documents."""
+        return {
+            "network": self.network_id,
+            "batches_ingested": self.batches_ingested,
+            "records_ingested": self.records_ingested,
+            "dedup_hits": self.dedup_hits,
+            "queued_batches": self.queued_batches,
+            "last_batch_at": self.last_batch_at,
+        }
+
+
+class NetworkRegistry:
+    """Lazy id -> shard mapping with LRU eviction of idle shards."""
+
+    def __init__(
+        self,
+        store_factory: Optional[StoreFactory] = None,
+        max_networks: Optional[int] = None,
+    ) -> None:
+        """Args:
+            store_factory: builds a network's store on first contact;
+                defaults to a fresh in-memory :class:`MetricsStore` per
+                network.  Receives the network id, so a durable factory
+                can derive one SQLite file per network.
+            max_networks: bound on resident shards (None = unbounded).
+        """
+        if max_networks is not None and max_networks < 1:
+            raise ConfigurationError(
+                f"max_networks must be >= 1 or None, got {max_networks}"
+            )
+        self._store_factory: StoreFactory = (
+            store_factory
+            if store_factory is not None
+            else (lambda network_id: MetricsStore())  # reprolint: allow[RL006] -- the registry owns shard stores; close() flushes and closes every one
+        )
+        self._max_networks = max_networks
+        #: Insertion/access-ordered: the first entry is the LRU candidate.
+        self._shards: "OrderedDict[str, NetworkShard]" = OrderedDict()
+        self.evictions = 0
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, network_id: str) -> bool:
+        return network_id in self._shards
+
+    def __iter__(self) -> Iterator[NetworkShard]:
+        return iter(list(self._shards.values()))
+
+    def network_ids(self) -> List[str]:
+        """Resident network ids, sorted for stable output."""
+        return sorted(self._shards)
+
+    def get(self, network_id: str) -> Optional[NetworkShard]:
+        """The shard for ``network_id`` if resident (marks it active)."""
+        shard = self._shards.get(network_id)
+        if shard is not None:
+            self._shards.move_to_end(network_id)
+        return shard
+
+    def get_or_create(self, network_id: str) -> NetworkShard:
+        """The shard for ``network_id``, creating (and evicting) as needed."""
+        shard = self.get(network_id)
+        if shard is not None:
+            return shard
+        if self._max_networks is not None:
+            while len(self._shards) >= self._max_networks:
+                if not self._evict_one():
+                    break  # every shard busy; let the fleet grow past the bound
+        shard = NetworkShard(network_id, self._store_factory(network_id))
+        self._shards[network_id] = shard
+        return shard
+
+    def adopt(self, network_id: str, store: MetricsStore) -> NetworkShard:
+        """Register a shard around an externally constructed store.
+
+        Used for the ``default`` network when a caller injects its own
+        store into the server (the historical single-network API).
+        """
+        if network_id in self._shards:
+            raise ConfigurationError(f"network {network_id!r} already registered")
+        shard = NetworkShard(network_id, store)
+        self._shards[network_id] = shard
+        return shard
+
+    # -- eviction -------------------------------------------------------------
+
+    def _evict_one(self) -> bool:
+        """Evict the least-recently-active idle shard; False if none is idle."""
+        for network_id, shard in self._shards.items():
+            if shard.queued_batches == 0:
+                self._close_shard(shard)
+                del self._shards[network_id]
+                self.evictions += 1
+                return True
+        return False
+
+    @staticmethod
+    def _close_shard(shard: NetworkShard) -> None:
+        flush = getattr(shard.store, "flush", None)
+        if flush is not None:
+            flush()
+        close = getattr(shard.store, "close", None)
+        if close is not None:
+            close()
+
+    def close(self) -> None:
+        """Flush and close every shard's store (idempotent)."""
+        for shard in self._shards.values():
+            self._close_shard(shard)
+
+    # -- convenience ----------------------------------------------------------
+
+    @property
+    def default(self) -> NetworkShard:
+        """The implicit single-network shard (created on first use)."""
+        return self.get_or_create(DEFAULT_NETWORK_ID)

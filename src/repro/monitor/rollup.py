@@ -4,7 +4,9 @@ Raw per-packet records grow without bound; dashboards plotting a week of
 history want fixed-interval aggregates instead.  A :class:`RollupSeries`
 buckets samples into intervals and keeps count/sum/min/max per bucket;
 :func:`rollup_packet_rate` and :func:`rollup_status_field` build the two
-rollups the dashboard's history panels need.
+rollups the dashboard's history panels need.  Rollups read one store, so
+on a multi-tenant server they are per-network by construction (the
+``/api/v1/networks/<id>/history`` route passes that network's shard).
 """
 
 from __future__ import annotations

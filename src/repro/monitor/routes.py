@@ -1,0 +1,389 @@
+"""The monitoring server's HTTP route table — single source of truth.
+
+Every endpoint the HTTP layer serves is declared here as a
+:class:`Route`; :mod:`repro.monitor.httpapi` dispatches from this table,
+``GET /api/v1/schema`` is generated from it, and ``docs/API.md`` is
+rendered from the same schema (a test keeps the file in sync).  A route
+that is not in this table does not exist, so the schema can never drift
+from the dispatch logic.
+
+Versioning
+----------
+
+The supported API lives under ``/api/v1/...`` and is network-scoped:
+``/api/v1/networks/<network>/nodes`` and friends, plus the fleet-level
+``/api/v1/fleet`` and ``/api/v1/networks``.  Every pre-v1 ``/api/*``
+path remains as a **legacy alias** onto the same handler bound to the
+``default`` network; aliases return byte-identical bodies and add a
+``Deprecation`` header pointing at the v1 path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+API_VERSION = "v1"
+
+#: Value of the ``Deprecation`` header on legacy-alias responses
+#: (draft-ietf-httpapi-deprecation-header boolean form).
+DEPRECATION_HEADER_VALUE = "true"
+
+
+@dataclass(frozen=True)
+class Param:
+    """One query parameter of a route."""
+
+    name: str
+    type: str
+    required: bool = False
+    description: str = ""
+    default: Optional[str] = None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "name": self.name,
+            "type": self.type,
+            "required": self.required,
+            "description": self.description,
+        }
+        if self.default is not None:
+            document["default"] = self.default
+        return document
+
+
+@dataclass(frozen=True)
+class Route:
+    """One HTTP endpoint.
+
+    Attributes:
+        name: stable identifier (handler lookup key and schema key).
+        method: HTTP method.
+        pattern: path with ``<network>`` placeholders for path params.
+        summary: one-line human description.
+        response: shape of the response body.
+        params: query parameters.
+        kind: ``api`` (JSON, in the schema) or ``ui`` (HTML/text pages).
+    """
+
+    name: str
+    method: str
+    pattern: str
+    summary: str
+    response: str
+    params: Tuple[Param, ...] = ()
+    kind: str = "api"
+
+    @property
+    def path_params(self) -> Tuple[str, ...]:
+        return tuple(
+            segment[1:-1]
+            for segment in self.pattern.strip("/").split("/")
+            if segment.startswith("<") and segment.endswith(">")
+        )
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        """Path params when ``method path`` hits this route, else None."""
+        if method != self.method:
+            return None
+        want = self.pattern.strip("/").split("/")
+        have = path.strip("/").split("/")
+        if len(want) != len(have):
+            return None
+        params: Dict[str, str] = {}
+        for expected, actual in zip(want, have):
+            if expected.startswith("<") and expected.endswith(">"):
+                if not actual:
+                    return None
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "method": self.method,
+            "path": self.pattern,
+            "summary": self.summary,
+            "path_params": list(self.path_params),
+            "query_params": [param.to_json_dict() for param in self.params],
+            "response": self.response,
+        }
+
+
+_HISTORY_PARAMS = (
+    Param("node", "int", required=True, description="Node address the series is for."),
+    Param(
+        "field",
+        "string",
+        description=(
+            "StatusRecord field to roll up (e.g. queue_depth, battery_v); "
+            "omitted = packet rate."
+        ),
+    ),
+    Param(
+        "interval",
+        "float",
+        description="Bucket width in seconds.",
+        default="300",
+    ),
+)
+
+#: Every route the HTTP layer serves, dispatch order.
+ROUTES: Tuple[Route, ...] = (
+    # -- fleet-level ---------------------------------------------------------
+    Route(
+        name="schema",
+        method="GET",
+        pattern="/api/v1/schema",
+        summary="Machine-readable description of every API route.",
+        response="object: api_version, routes[], legacy_aliases{}",
+    ),
+    Route(
+        name="fleet",
+        method="GET",
+        pattern="/api/v1/fleet",
+        summary="Fleet overview: per-network tiles, totals, top-N unhealthy.",
+        response="object: now, networks[], totals{}, top_unhealthy[]",
+    ),
+    Route(
+        name="networks",
+        method="GET",
+        pattern="/api/v1/networks",
+        summary="Ids of every resident network.",
+        response="array of network-id strings",
+    ),
+    Route(
+        name="server-metrics",
+        method="GET",
+        pattern="/api/v1/server",
+        summary="Server self-metrics: ingest/dedup/queue/flush counters.",
+        response="object: ingestion counters, queue state, per-store flush stats",
+    ),
+    # -- network-scoped ------------------------------------------------------
+    Route(
+        name="network-detail",
+        method="GET",
+        pattern="/api/v1/networks/<network>",
+        summary="One network's ingest counters and queue share.",
+        response="object: network, batches/records ingested, dedup_hits, queued_batches, last_batch_at",
+    ),
+    Route(
+        name="network-summary",
+        method="GET",
+        pattern="/api/v1/networks/<network>/summary",
+        summary="Full dashboard document for one network.",
+        response="object: now, network_health, network_pdr, nodes[], links[], delivery[], composition, alerts[], server{}, drops{}",
+    ),
+    Route(
+        name="network-nodes",
+        method="GET",
+        pattern="/api/v1/networks/<network>/nodes",
+        summary="Node table for one network.",
+        response="array of node rows",
+    ),
+    Route(
+        name="network-links",
+        method="GET",
+        pattern="/api/v1/networks/<network>/links",
+        summary="Link-quality table for one network.",
+        response="array of link rows",
+    ),
+    Route(
+        name="network-delivery",
+        method="GET",
+        pattern="/api/v1/networks/<network>/delivery",
+        summary="PDR/latency per (src, dst) pair for one network.",
+        response="array of delivery rows",
+    ),
+    Route(
+        name="network-alerts",
+        method="GET",
+        pattern="/api/v1/networks/<network>/alerts",
+        summary="Active alerts for one network.",
+        response="array: rule, node, severity, message, raised_at",
+    ),
+    Route(
+        name="network-health",
+        method="GET",
+        pattern="/api/v1/networks/<network>/health",
+        summary="Per-node health scores for one network.",
+        response="object keyed by node: score, liveness, delivery, spectrum, battery",
+    ),
+    Route(
+        name="network-history",
+        method="GET",
+        pattern="/api/v1/networks/<network>/history",
+        summary="Rolled-up time series for one node of one network.",
+        response="array of buckets: start, count, mean, min, max",
+        params=_HISTORY_PARAMS,
+    ),
+    Route(
+        name="network-dot",
+        method="GET",
+        pattern="/api/v1/networks/<network>/dot",
+        summary="Graphviz topology of one network.",
+        response="text/plain DOT document",
+    ),
+    Route(
+        name="network-ingest",
+        method="POST",
+        pattern="/api/v1/networks/<network>/ingest",
+        summary=(
+            "Ingest one JSON record batch for this network; 503 + Retry-After "
+            "under backpressure, 400 on malformed or cross-network batches."
+        ),
+        response="object: ok, queued, accepted_packets, accepted_status, duplicates",
+    ),
+    # -- ui ------------------------------------------------------------------
+    Route(
+        name="index",
+        method="GET",
+        pattern="/",
+        summary="HTML dashboard of the default network.",
+        response="text/html",
+        kind="ui",
+    ),
+    Route(
+        name="fleet-page",
+        method="GET",
+        pattern="/fleet",
+        summary="HTML fleet overview.",
+        response="text/html",
+        kind="ui",
+    ),
+    Route(
+        name="network-page",
+        method="GET",
+        pattern="/networks/<network>",
+        summary="HTML dashboard of one network.",
+        response="text/html",
+        kind="ui",
+    ),
+    Route(
+        name="text",
+        method="GET",
+        pattern="/text",
+        summary="Plain-text dashboard of the default network.",
+        response="text/html (pre-wrapped text)",
+        kind="ui",
+    ),
+)
+
+_ROUTES_BY_NAME: Dict[str, Route] = {route.name: route for route in ROUTES}
+
+#: Legacy pre-v1 paths -> the v1 route each one aliases, always bound to
+#: the ``default`` network.  Bodies are byte-identical to the v1 route;
+#: responses add a ``Deprecation`` header and a ``Link`` to the
+#: successor.
+LEGACY_ALIASES: Dict[str, str] = {
+    "/api/summary": "network-summary",
+    "/api/nodes": "network-nodes",
+    "/api/links": "network-links",
+    "/api/delivery": "network-delivery",
+    "/api/alerts": "network-alerts",
+    "/api/health": "network-health",
+    "/api/history": "network-history",
+    "/api/dot": "network-dot",
+    "/api/server": "server-metrics",
+    "/api/ingest": "network-ingest",
+}
+
+
+def route_by_name(name: str) -> Route:
+    return _ROUTES_BY_NAME[name]
+
+
+def successor_path(legacy_path: str) -> str:
+    """The v1 path a legacy alias should point clients at."""
+    route = _ROUTES_BY_NAME[LEGACY_ALIASES[legacy_path]]
+    return route.pattern.replace("<network>", "default")
+
+
+def api_routes() -> List[Route]:
+    """The JSON API routes (what the schema documents)."""
+    return [route for route in ROUTES if route.kind == "api"]
+
+
+def schema_document() -> Dict[str, Any]:
+    """The ``GET /api/v1/schema`` body."""
+    return {
+        "api_version": API_VERSION,
+        "routes": [route.to_json_dict() for route in api_routes()],
+        "legacy_aliases": {
+            legacy: {
+                "successor": successor_path(legacy),
+                "route": name,
+                "deprecation": DEPRECATION_HEADER_VALUE,
+            }
+            for legacy, name in sorted(LEGACY_ALIASES.items())
+        },
+    }
+
+
+def render_api_markdown() -> str:
+    """``docs/API.md`` content, generated from the route table."""
+    lines: List[str] = [
+        "# HTTP API",
+        "",
+        "<!-- Generated from repro.monitor.routes; edit that module, not this file.",
+        "     tests/unit/test_api_contract.py keeps the two in sync. -->",
+        "",
+        "The monitoring server exposes a versioned JSON API under"
+        f" `/api/{API_VERSION}/...`.",
+        "All endpoints are network-scoped where it matters: one server monitors many",
+        "independent mesh networks, and `<network>` in a path selects one of them",
+        "(single-network deployments live in the implicit `default` network).",
+        "",
+        "The full machine-readable description of this surface is served at",
+        f"`GET /api/{API_VERSION}/schema`; this file is rendered from the same",
+        "route table.",
+        "",
+        "## Routes",
+        "",
+    ]
+    for route in api_routes():
+        lines.append(f"### `{route.method} {route.pattern}`")
+        lines.append("")
+        lines.append(route.summary)
+        lines.append("")
+        if route.params:
+            lines.append("Query parameters:")
+            lines.append("")
+            for param in route.params:
+                required = "required" if param.required else "optional"
+                default = f", default `{param.default}`" if param.default else ""
+                lines.append(
+                    f"- `{param.name}` ({param.type}, {required}{default})"
+                    + (f" — {param.description}" if param.description else "")
+                )
+            lines.append("")
+        lines.append(f"Response: {route.response}")
+        lines.append("")
+    lines.extend(
+        [
+            "## Legacy aliases",
+            "",
+            "Every pre-v1 path keeps working, bound to the `default` network, with a",
+            "byte-identical body plus `Deprecation: true` and a `Link` header naming",
+            "the successor route:",
+            "",
+            "| Legacy path | Successor |",
+            "|---|---|",
+        ]
+    )
+    for legacy in sorted(LEGACY_ALIASES):
+        lines.append(f"| `{legacy}` | `{successor_path(legacy)}` |")
+    lines.extend(
+        [
+            "",
+            "## UI pages",
+            "",
+        ]
+    )
+    for route in ROUTES:
+        if route.kind == "ui":
+            lines.append(f"- `{route.method} {route.pattern}` — {route.summary}")
+    lines.append("")
+    return "\n".join(lines)

@@ -2,11 +2,25 @@
 
 The server accepts batches in either wire format (JSON from the
 out-of-band uplink, binary from the gateway bridge), validates them,
-deduplicates records on (node, record-kind, seq) — the client retries
-failed batches under new batch sequence numbers but stable record
-sequence numbers — and writes accepted records into the
-:class:`~repro.monitor.storage.MetricsStore` (or the SQLite store)
-through the store's batched write API.
+deduplicates records on (network, node, record-kind, seq) — the client
+retries failed batches under new batch sequence numbers but stable
+record sequence numbers — and writes accepted records into the
+per-network :class:`~repro.monitor.storage.MetricsStore` (or the SQLite
+store) through the store's batched write API.
+
+Multi-tenancy
+-------------
+
+One server ingests telemetry from **many independent mesh networks**.
+Every batch carries a ``network_id`` (implicitly ``"default"`` for
+single-network clients) and is routed to that network's
+:class:`~repro.monitor.registry.NetworkShard` — its own store, dedup
+windows and counters, managed by a
+:class:`~repro.monitor.registry.NetworkRegistry` with lazy shard
+creation and LRU eviction of idle shards.  Single-network callers see
+no difference: ``MonitorServer(store=...)`` makes the injected store
+the ``default`` network's shard and the ``store`` attribute keeps
+pointing at it.
 
 Admission control
 -----------------
@@ -19,170 +33,104 @@ degrades gracefully instead of stalling the mesh-side uplinks:
 * ``queue_capacity=N`` with ``autodrain=True`` — batches still process
   inline, but the queue accounting (depth, high-water mark) is live.
 * ``queue_capacity=N`` with ``autodrain=False`` — batches are enqueued
-  and processed later by :meth:`MonitorServer.drain` (a worker loop, a
-  simulator event, or a test).  When the queue is full the configured
-  :class:`BackpressurePolicy` decides: ``REJECT`` refuses the new batch
-  with a ``retry_after_s`` hint (the client's at-least-once retry
-  redelivers it), ``DROP_OLDEST`` evicts the oldest queued batch to
-  admit the new one (freshest-data-wins, as a live dashboard prefers).
+  and processed later by :meth:`MonitorServer.drain`.  When the queue
+  is full the configured :class:`BackpressurePolicy` decides: ``REJECT``
+  refuses the new batch with a ``retry_after_s`` hint, ``DROP_OLDEST``
+  evicts the oldest queued batch to admit the new one.
+* ``network_queue_quota=N`` — per-network bound on queued batches, so
+  one noisy network cannot starve the rest of the fleet: once a
+  network's share of the queue reaches the quota, *its* next batch is
+  rejected (or displaces its own oldest batch under ``DROP_OLDEST``)
+  while other networks keep ingesting.
 
 Observability ("monitor the monitor")
 -------------------------------------
 
 :class:`ServerSelfMetrics` counts everything the ingestion pipeline
 does — batches/records ingested, dedup hits, decode failures, queue
-depth high-water mark, rejected/dropped batches, store flush count and
-latencies.  It is exposed as ``GET /api/server`` by
-:mod:`repro.monitor.httpapi` and rendered in the dashboard's
-``[server]`` panel.
+depth high-water mark, rejected/dropped batches, quota rejections,
+store flush count and latencies.  It is exposed as
+``GET /api/v1/server`` by :mod:`repro.monitor.httpapi` and rendered in
+the dashboard's ``[server]`` panel.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from collections import deque
-from dataclasses import dataclass
-from enum import Enum
-from typing import Any, Callable, Deque, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Union
 
 from repro.errors import ConfigurationError, DecodeError
+# The moved names are imported under private aliases so that plain
+# attribute access on this module goes through the deprecation shim in
+# __getattr__ below (a top-level public import would shadow it).
+from repro.monitor.ingest import (
+    DEFAULT_NETWORK_ID,
+    BackpressurePolicy as _BackpressurePolicy,
+    IngestResult as _IngestResult,
+    SeqWindow,
+    ServerSelfMetrics as _ServerSelfMetrics,
+    ServerStats as _ServerStats,
+)
+
+if TYPE_CHECKING:  # public names, for annotations only
+    from repro.monitor.ingest import (
+        BackpressurePolicy,
+        IngestResult,
+        ServerSelfMetrics,
+        ServerStats,
+    )
 from repro.monitor.records import RecordBatch
+from repro.monitor.registry import NetworkRegistry, NetworkShard, StoreFactory
 from repro.monitor.storage import MetricsStore
 
+#: Kept under its historical (private) name for in-repo callers.
+_SeqWindow = SeqWindow
 
-class BackpressurePolicy(Enum):
-    """What a full ingest queue does with the next batch."""
-
-    #: Refuse the batch; the result carries ``retry_after_s`` so the
-    #: client backs off and retries (at-least-once uplinks redeliver).
-    REJECT = "reject"
-    #: Evict the oldest queued batch to admit the new one.  Bounded
-    #: staleness for a live dashboard; the evicted batch is lost unless
-    #: the client retries it.
-    DROP_OLDEST = "drop_oldest"
-
-
-@dataclass(frozen=True)
-class IngestResult:
-    """Outcome of one batch ingestion."""
-
-    ok: bool
-    accepted_packets: int = 0
-    accepted_status: int = 0
-    duplicates: int = 0
-    error: Optional[str] = None
-    #: True when the batch was admitted to the ingest queue but not yet
-    #: processed (``autodrain=False``); counts arrive after drain().
-    queued: bool = False
-    #: Backpressure hint: seconds the client should wait before retrying.
-    retry_after_s: Optional[float] = None
+#: Names that moved to :mod:`repro.monitor.ingest`; importing them from
+#: here still works via :func:`__getattr__` but warns.
+_MOVED_TO_INGEST = {
+    "BackpressurePolicy": _BackpressurePolicy,
+    "IngestResult": _IngestResult,
+    "ServerStats": _ServerStats,
+    "ServerSelfMetrics": _ServerSelfMetrics,
+}
 
 
-@dataclass
-class ServerStats:
-    """Server-side counters (historical shape, kept for compatibility)."""
-
-    batches_ok: int = 0
-    batches_rejected: int = 0
-    records_accepted: int = 0
-    duplicates: int = 0
-    bytes_received: int = 0
-
-
-@dataclass
-class ServerSelfMetrics:
-    """Ingestion-pipeline self-metrics ("monitor the monitor").
-
-    Everything needed to answer "is the monitoring server itself
-    healthy?" — exposed over ``GET /api/server`` and on the dashboard.
-    """
-
-    batches_ingested: int = 0
-    packet_records_ingested: int = 0
-    status_records_ingested: int = 0
-    dedup_hits: int = 0
-    foreign_records_rejected: int = 0
-    decode_failures: int = 0
-    batches_rejected: int = 0          # backpressure refusals (REJECT)
-    batches_dropped: int = 0           # queue evictions (DROP_OLDEST)
-    queue_high_water: int = 0
-    store_flushes: int = 0
-    flush_latency_last_s: float = 0.0
-    flush_latency_max_s: float = 0.0
-    flush_latency_total_s: float = 0.0
-
-    def note_flush(self, latency_s: float) -> None:
-        self.store_flushes += 1
-        self.flush_latency_last_s = latency_s
-        self.flush_latency_max_s = max(self.flush_latency_max_s, latency_s)
-        self.flush_latency_total_s += latency_s
-
-    @property
-    def records_ingested(self) -> int:
-        return self.packet_records_ingested + self.status_records_ingested
-
-    def to_json_dict(self) -> Dict[str, Any]:
-        return {
-            "batches_ingested": self.batches_ingested,
-            "records_ingested": self.records_ingested,
-            "packet_records_ingested": self.packet_records_ingested,
-            "status_records_ingested": self.status_records_ingested,
-            "dedup_hits": self.dedup_hits,
-            "foreign_records_rejected": self.foreign_records_rejected,
-            "decode_failures": self.decode_failures,
-            "batches_rejected": self.batches_rejected,
-            "batches_dropped": self.batches_dropped,
-            "queue_high_water": self.queue_high_water,
-            "store_flushes": self.store_flushes,
-            "flush_latency_last_ms": self.flush_latency_last_s * 1000.0,
-            "flush_latency_max_ms": self.flush_latency_max_s * 1000.0,
-            "flush_latency_total_ms": self.flush_latency_total_s * 1000.0,
-        }
-
-
-class _SeqWindow:
-    """Bounded per-node set of recently seen record sequence numbers.
-
-    Sequence numbers are monotonically increasing per client, so keeping
-    the recent window plus a low-water mark gives exact deduplication with
-    bounded memory: anything at or below the mark has been seen.
-    """
-
-    def __init__(self, capacity: int = 65536) -> None:
-        self._capacity = capacity
-        self._seen: Set[int] = set()
-        self._low_water = -1
-
-    def check_and_add(self, seq: int) -> bool:
-        """Record ``seq``; return True when it is new."""
-        if seq <= self._low_water or seq in self._seen:
-            return False
-        self._seen.add(seq)
-        if len(self._seen) > self._capacity:
-            # Advance the low-water mark past the densest prefix.
-            ordered = sorted(self._seen)
-            cut = len(ordered) // 2
-            self._low_water = ordered[cut - 1]
-            self._seen = set(ordered[cut:])
-        return True
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_INGEST:
+        warnings.warn(
+            f"repro.monitor.server.{name} moved to repro.monitor.ingest; "
+            f"import it from repro.monitor.ingest (or the repro.api facade)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _MOVED_TO_INGEST[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class MonitorServer:
-    """Ingestion endpoint feeding the metrics store."""
+    """Multi-tenant ingestion endpoint feeding per-network metrics stores."""
 
     def __init__(
         self,
         store: Optional[MetricsStore] = None,
         clock: Optional[Callable[[], float]] = None,
         queue_capacity: Optional[int] = None,
-        backpressure: BackpressurePolicy = BackpressurePolicy.REJECT,
+        backpressure: Union[BackpressurePolicy, str] = _BackpressurePolicy.REJECT,
         autodrain: bool = True,
         retry_after_s: float = 1.0,
+        store_factory: Optional[StoreFactory] = None,
+        max_networks: Optional[int] = None,
+        network_queue_quota: Optional[int] = None,
     ) -> None:
         """Create a server.
 
         Args:
-            store: backing store (a fresh one is created when omitted).
+            store: backing store for the implicit ``default`` network (a
+                fresh one is created lazily when omitted).
             clock: returns "server time"; inside a simulation pass the
                 simulator's ``now``.  Defaults to 0.0 (tests that do not
                 care about liveness).
@@ -193,26 +141,60 @@ class MonitorServer:
                 :meth:`drain`, which is what makes the bound and the
                 policy observable.
             retry_after_s: hint returned with REJECT refusals.
+            store_factory: builds the store for each newly seen network
+                (default: an in-memory :class:`MetricsStore` per network).
+            max_networks: bound on resident network shards; the
+                least-recently-active idle shard is evicted beyond it.
+            network_queue_quota: per-network bound on queued batches
+                (None = no per-network bound; only the global capacity
+                applies).
         """
         if queue_capacity is not None and queue_capacity < 1:
             raise ConfigurationError(
                 f"queue_capacity must be >= 1 or None, got {queue_capacity}"
             )
+        if network_queue_quota is not None and network_queue_quota < 1:
+            raise ConfigurationError(
+                f"network_queue_quota must be >= 1 or None, got {network_queue_quota}"
+            )
         if retry_after_s <= 0:
             raise ConfigurationError(f"retry_after_s must be > 0, got {retry_after_s}")
         if isinstance(backpressure, str):
-            backpressure = BackpressurePolicy(backpressure)
-        self.store = store if store is not None else MetricsStore()
+            backpressure = _BackpressurePolicy(backpressure)
+        self.registry = NetworkRegistry(
+            store_factory=store_factory, max_networks=max_networks
+        )
+        if store is not None:
+            self.registry.adopt(DEFAULT_NETWORK_ID, store)
         self._clock = clock or (lambda: 0.0)
-        self.stats = ServerStats()
-        self.self_metrics = ServerSelfMetrics()
+        self.stats = _ServerStats()
+        self.self_metrics = _ServerSelfMetrics()
         self.queue_capacity = queue_capacity
         self.backpressure = backpressure
         self.autodrain = autodrain
         self.retry_after_s = retry_after_s
+        self.network_queue_quota = network_queue_quota
         self._queue: Deque[RecordBatch] = deque()
-        self._packet_windows: Dict[int, _SeqWindow] = {}
-        self._status_windows: Dict[int, _SeqWindow] = {}
+
+    # -- tenancy --------------------------------------------------------------
+
+    @property
+    def store(self) -> MetricsStore:
+        """The ``default`` network's store (the historical attribute)."""
+        return self.registry.default.store
+
+    def networks(self) -> List[str]:
+        """Ids of every resident network, sorted."""
+        return self.registry.network_ids()
+
+    def shard_for(self, network_id: str) -> Optional[NetworkShard]:
+        """The shard for ``network_id``, or None if never seen/evicted."""
+        return self.registry.get(network_id)
+
+    def store_for(self, network_id: str) -> Optional[MetricsStore]:
+        """The metrics store for ``network_id``, or None if not resident."""
+        shard = self.registry.get(network_id)
+        return shard.store if shard is not None else None
 
     # -- admission -----------------------------------------------------------
 
@@ -221,26 +203,59 @@ class MonitorServer:
         """Batches admitted but not yet processed."""
         return len(self._queue)
 
-    def ingest_json(self, raw: bytes) -> IngestResult:
-        """Ingest an out-of-band JSON batch."""
+    def queue_depth_for(self, network_id: str) -> int:
+        """Queued batches belonging to ``network_id``."""
+        shard = self.registry.get(network_id)
+        return shard.queued_batches if shard is not None else 0
+
+    def ingest_json(self, raw: bytes, network_id: Optional[str] = None) -> IngestResult:
+        """Ingest an out-of-band JSON batch.
+
+        Args:
+            raw: wire bytes.
+            network_id: when given (the network-scoped HTTP ingest
+                route), the batch must belong to this network: an
+                unstamped batch is stamped with it, a batch stamped with
+                a *different* network is refused.
+        """
         self.stats.bytes_received += len(raw)
         try:
             batch = RecordBatch.from_json_bytes(raw)
         except DecodeError as exc:
             self.stats.batches_rejected += 1
             self.self_metrics.decode_failures += 1
-            return IngestResult(ok=False, error=str(exc))
+            return _IngestResult(ok=False, error=str(exc))
+        if network_id is not None:
+            if batch.network_id not in (DEFAULT_NETWORK_ID, network_id):
+                self.stats.batches_rejected += 1
+                self.self_metrics.decode_failures += 1
+                return _IngestResult(
+                    ok=False,
+                    error=(
+                        f"batch is stamped for network {batch.network_id!r} "
+                        f"but was posted to network {network_id!r}"
+                    ),
+                )
+            if batch.network_id != network_id:
+                batch = dataclasses.replace(batch, network_id=network_id)
         return self.submit(batch)
 
-    def ingest_binary(self, raw: bytes) -> IngestResult:
-        """Ingest an in-band binary batch (via the gateway bridge)."""
+    def ingest_binary(self, raw: bytes, network_id: Optional[str] = None) -> IngestResult:
+        """Ingest an in-band binary batch (via the gateway bridge).
+
+        The compact binary format does not spend airtime on a network
+        id; the bridge that decodes it knows which network its gateway
+        belongs to and passes ``network_id`` here.
+        """
         self.stats.bytes_received += len(raw)
         try:
             batch = RecordBatch.from_binary(raw)
         except DecodeError as exc:
             self.stats.batches_rejected += 1
             self.self_metrics.decode_failures += 1
-            return IngestResult(ok=False, error=str(exc))
+            return _IngestResult(ok=False, error=str(exc))
+        if network_id is not None and batch.network_id != network_id:
+            batch = dataclasses.replace(batch, network_id=network_id)
         return self.submit(batch)
 
     def ingest(self, batch: RecordBatch) -> IngestResult:
@@ -249,38 +264,75 @@ class MonitorServer:
 
     def submit(self, batch: RecordBatch) -> IngestResult:
         """Admit ``batch`` through the bounded queue, then maybe process it."""
+        shard = self.registry.get_or_create(batch.network_id)
         if self.queue_capacity is not None and len(self._queue) >= self.queue_capacity:
-            if self.backpressure is BackpressurePolicy.DROP_OLDEST:
-                self._queue.popleft()
+            if self.backpressure is _BackpressurePolicy.DROP_OLDEST:
+                evicted = self._queue.popleft()
+                self._uncount_queued(evicted)
                 self.self_metrics.batches_dropped += 1
             else:
                 self.stats.batches_rejected += 1
                 self.self_metrics.batches_rejected += 1
-                return IngestResult(
+                return _IngestResult(
                     ok=False,
                     error="ingest queue full",
                     retry_after_s=self.retry_after_s,
                 )
+        elif (
+            self.network_queue_quota is not None
+            and shard.queued_batches >= self.network_queue_quota
+        ):
+            # The global queue has room but this network used up its
+            # share: apply the policy to this network only.
+            if self.backpressure is _BackpressurePolicy.DROP_OLDEST:
+                self._drop_oldest_of(batch.network_id)
+                self.self_metrics.batches_dropped += 1
+            else:
+                self.stats.batches_rejected += 1
+                self.self_metrics.batches_rejected += 1
+                self.self_metrics.quota_rejections += 1
+                return _IngestResult(
+                    ok=False,
+                    error=f"ingest queue quota exhausted for network {batch.network_id!r}",
+                    retry_after_s=self.retry_after_s,
+                )
         self._queue.append(batch)
+        shard.queued_batches += 1
         depth = len(self._queue)
         if depth > self.self_metrics.queue_high_water:
             self.self_metrics.queue_high_water = depth
         if self.autodrain:
             return self.drain()[-1]
-        return IngestResult(ok=True, queued=True)
+        return _IngestResult(ok=True, queued=True)
+
+    def _uncount_queued(self, batch: RecordBatch) -> None:
+        shard = self.registry.get(batch.network_id)
+        if shard is not None and shard.queued_batches > 0:
+            shard.queued_batches -= 1
+
+    def _drop_oldest_of(self, network_id: str) -> None:
+        """Evict the oldest queued batch belonging to ``network_id``."""
+        for index, queued in enumerate(self._queue):
+            if queued.network_id == network_id:
+                del self._queue[index]
+                self._uncount_queued(queued)
+                return
 
     def drain(self, max_batches: Optional[int] = None) -> List[IngestResult]:
         """Process up to ``max_batches`` queued batches (all by default)."""
         results: List[IngestResult] = []
         while self._queue and (max_batches is None or len(results) < max_batches):
-            results.append(self._ingest(self._queue.popleft()))
+            batch = self._queue.popleft()
+            self._uncount_queued(batch)
+            results.append(self._ingest(batch))
         return results
 
     # -- processing ----------------------------------------------------------
 
     def _ingest(self, batch: RecordBatch) -> IngestResult:
-        packet_window = self._packet_windows.setdefault(batch.node, _SeqWindow())
-        status_window = self._status_windows.setdefault(batch.node, _SeqWindow())
+        shard = self.registry.get_or_create(batch.network_id)
+        packet_window = shard.packet_windows.setdefault(batch.node, SeqWindow())
+        status_window = shard.status_windows.setdefault(batch.node, SeqWindow())
         accepted_packets = []
         accepted_status = []
         duplicates = 0
@@ -301,89 +353,109 @@ class MonitorServer:
                 accepted_status.append(record)
             else:
                 duplicates += 1
+        store = shard.store
         if accepted_packets:
-            add_packets = getattr(self.store, "add_packet_records", None)
+            add_packets = getattr(store, "add_packet_records", None)
             if add_packets is not None:
                 add_packets(accepted_packets)
             else:  # stores predating the batch API
                 for record in accepted_packets:
-                    self.store.add_packet_record(record)
+                    store.add_packet_record(record)
         if accepted_status:
-            add_status = getattr(self.store, "add_status_records", None)
+            add_status = getattr(store, "add_status_records", None)
             if add_status is not None:
                 add_status(accepted_status)
             else:
                 for record in accepted_status:
-                    self.store.add_status_record(record)
-        self.store.note_batch(batch.node, self._clock(), batch.dropped_records)
-        self._flush_store()
+                    store.add_status_record(record)
+        now = self._clock()
+        store.note_batch(batch.node, now, batch.dropped_records)
+        self._flush_store(store)
+        accepted = len(accepted_packets) + len(accepted_status)
         self.stats.batches_ok += 1
-        self.stats.records_accepted += len(accepted_packets) + len(accepted_status)
+        self.stats.records_accepted += accepted
         self.stats.duplicates += duplicates
         self.self_metrics.batches_ingested += 1
         self.self_metrics.packet_records_ingested += len(accepted_packets)
         self.self_metrics.status_records_ingested += len(accepted_status)
         self.self_metrics.dedup_hits += duplicates
-        return IngestResult(
+        shard.batches_ingested += 1
+        shard.records_ingested += accepted
+        shard.dedup_hits += duplicates
+        shard.last_batch_at = now
+        return _IngestResult(
             ok=True,
             accepted_packets=len(accepted_packets),
             accepted_status=len(accepted_status),
             duplicates=duplicates,
         )
 
-    def _flush_store(self) -> None:
+    def _flush_store(self, store: MetricsStore) -> None:
         """Let a durable store decide whether a flush is due."""
-        maybe_flush = getattr(self.store, "maybe_flush", None)
+        maybe_flush = getattr(store, "maybe_flush", None)
         if maybe_flush is not None:
             maybe_flush()
             self._sync_flush_stats()
             return
         # Stores without batching semantics but with commit() (historical
         # third-party drop-ins): flush once per batch as before.
-        commit = getattr(self.store, "commit", None)
+        commit = getattr(store, "commit", None)
         if commit is not None:
             commit()
 
     def _sync_flush_stats(self) -> None:
-        """Mirror the store's flush counters into the self-metrics.
+        """Mirror the stores' flush counters into the self-metrics.
 
-        The store is the source of truth: its size/age thresholds can
-        fire inside ``add_*_records`` calls, not only when the server
-        asks, so the self-metrics copy rather than re-measure.
+        The stores are the source of truth: their size/age thresholds
+        can fire inside ``add_*_records`` calls, not only when the
+        server asks, so the self-metrics aggregate rather than
+        re-measure.  With several durable shards the counters sum and
+        the latencies take the worst case.
         """
-        stats = getattr(self.store, "flush_stats", None)
-        if stats is None:
+        flushes = 0
+        last = 0.0
+        worst = 0.0
+        total = 0.0
+        seen = False
+        for shard in self.registry:
+            stats = getattr(shard.store, "flush_stats", None)
+            if stats is None:
+                continue
+            seen = True
+            flushes += stats.flushes
+            last = stats.last_latency_s
+            worst = max(worst, stats.max_latency_s)
+            total += stats.total_latency_s
+        if not seen:
             return
-        self.self_metrics.store_flushes = stats.flushes
-        self.self_metrics.flush_latency_last_s = stats.last_latency_s
-        self.self_metrics.flush_latency_max_s = stats.max_latency_s
-        self.self_metrics.flush_latency_total_s = stats.total_latency_s
+        self.self_metrics.store_flushes = flushes
+        self.self_metrics.flush_latency_last_s = last
+        self.self_metrics.flush_latency_max_s = worst
+        self.self_metrics.flush_latency_total_s = total
 
     def flush(self) -> None:
         """Force any buffered store writes out (shutdown, test barriers)."""
-        flush = getattr(self.store, "flush", None)
-        if flush is None:
-            return
-        started = time.perf_counter()
-        flushed = flush()
-        if getattr(self.store, "flush_stats", None) is not None:
-            self._sync_flush_stats()
-        elif flushed:
-            self.self_metrics.note_flush(time.perf_counter() - started)
+        for shard in self.registry:
+            flush = getattr(shard.store, "flush", None)
+            if flush is None:
+                continue
+            started = time.perf_counter()
+            flushed = flush()
+            if getattr(shard.store, "flush_stats", None) is not None:
+                self._sync_flush_stats()
+            elif flushed:
+                self.self_metrics.note_flush(time.perf_counter() - started)
 
     def close(self) -> None:
-        """Orderly shutdown: drain queued batches, flush, close the store.
+        """Orderly shutdown: drain queued batches, flush, close every shard.
 
-        The server owns its store (it constructs one when none is
-        injected), so closing the server closes the store; store closes
-        are idempotent, so an injected store may safely be closed again
-        by its creator.
+        The server owns the stores it creates, so closing the server
+        closes them; store closes are idempotent, so an injected store
+        may safely be closed again by its creator.
         """
         self.drain()
         self.flush()
-        close = getattr(self.store, "close", None)
-        if close is not None:
-            close()
+        self.registry.close()
 
     def __enter__(self) -> "MonitorServer":
         return self
@@ -391,8 +463,10 @@ class MonitorServer:
     def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
+    # -- documents -----------------------------------------------------------
+
     def self_metrics_document(self) -> Dict[str, Any]:
-        """The ``GET /api/server`` body: self-metrics + queue + wire stats."""
+        """The ``GET /api/v1/server`` body: self-metrics + queue + wire stats."""
         document = self.self_metrics.to_json_dict()
         document.update(
             {
@@ -401,6 +475,9 @@ class MonitorServer:
                 "backpressure": self.backpressure.value,
                 "autodrain": self.autodrain,
                 "bytes_received": self.stats.bytes_received,
+                "networks": len(self.registry),
+                "network_queue_quota": self.network_queue_quota,
+                "network_evictions": self.registry.evictions,
             }
         )
         store_stats = getattr(self.store, "flush_stats", None)
@@ -411,4 +488,13 @@ class MonitorServer:
                 "flush_latency_last_ms": store_stats.last_latency_s * 1000.0,
                 "flush_latency_max_ms": store_stats.max_latency_s * 1000.0,
             }
+        return document
+
+    def network_document(self, network_id: str) -> Optional[Dict[str, Any]]:
+        """Per-network ingest counters, or None for an unknown network."""
+        shard = self.registry.get(network_id)
+        if shard is None:
+            return None
+        document = shard.to_json_dict()
+        document["queued_batches"] = shard.queued_batches
         return document

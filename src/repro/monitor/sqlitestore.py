@@ -30,6 +30,7 @@ benchmark baseline.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 import time
 from dataclasses import dataclass
@@ -510,3 +511,32 @@ class SqliteMetricsStore:
         if row is None or row[0] is None:
             return None
         return (row[0], row[1])
+
+
+def sqlite_store_factory(
+    directory: str,
+    flush_records: int = 1000,
+    flush_interval_s: Optional[float] = 1.0,
+    clock: Optional[Callable[[], float]] = None,
+) -> Callable[[str], SqliteMetricsStore]:
+    """Per-network durable store factory for a multi-tenant server.
+
+    Returns a callable suitable for ``MonitorServer(store_factory=...)``
+    (and :class:`~repro.monitor.registry.NetworkRegistry`): each newly
+    seen network gets its own SQLite file ``<directory>/<network>.sqlite``,
+    so tenants never share a database and an evicted shard's file simply
+    waits on disk for the network to report again.
+
+    Network ids are pre-validated (``[A-Za-z0-9][A-Za-z0-9_.-]*``), so
+    they are safe as file names.
+    """
+
+    def factory(network_id: str) -> SqliteMetricsStore:
+        return SqliteMetricsStore(  # reprolint: allow[RL006] -- the registry owns shard stores; close() flushes and closes every one
+            path=os.path.join(directory, f"{network_id}.sqlite"),
+            flush_records=flush_records,
+            flush_interval_s=flush_interval_s,
+            clock=clock,
+        )
+
+    return factory

@@ -2,7 +2,9 @@
 
 Holds every accepted packet and status record, indexed per observer node,
 with bounded retention.  Query methods are the substrate for the metric
-aggregations, the dashboard and the HTTP API.
+aggregations, the dashboard and the HTTP API.  A multi-tenant server
+holds one store per network (see :mod:`repro.monitor.registry`); a store
+never contains records from more than one network.
 
 The store is deliberately schema-first rather than a generic TSDB: the
 record types are fixed, so queries can expose exactly the filters the

@@ -18,13 +18,16 @@ Two modes, matching DESIGN.md's T3 ablation:
 from __future__ import annotations
 
 import random
+import urllib.error
+import urllib.request
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.errors import ConfigurationError
 from repro.mesh.node import DeliveredMessage, MeshNode
 from repro.mesh.packet import PacketType
+from repro.monitor.ingest import DEFAULT_NETWORK_ID, IngestResult, validate_network_id
 from repro.monitor.records import RecordBatch
 from repro.sim.engine import Simulator
 
@@ -218,9 +221,22 @@ class GatewayBridge:
     with Internet connectivity).
     """
 
-    def __init__(self, gateway: MeshNode, server: "SupportsIngestBinary") -> None:
+    def __init__(
+        self,
+        gateway: MeshNode,
+        server: "SupportsIngestBinary",
+        network_id: str = DEFAULT_NETWORK_ID,
+    ) -> None:
+        try:
+            validate_network_id(network_id)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
         self.gateway = gateway
         self._server = server
+        #: The compact binary batch spends no airtime on a network id;
+        #: the bridge knows which network its gateway belongs to and
+        #: attributes batches server-side.
+        self.network_id = network_id
         self.batches_bridged = 0
         self.batches_rejected = 0
         gateway.on_deliver.append(self._delivered)
@@ -228,11 +244,98 @@ class GatewayBridge:
     def _delivered(self, message: DeliveredMessage) -> None:
         if message.ptype != PacketType.TELEMETRY:
             return
-        result = self._server.ingest_binary(message.payload)
+        if self.network_id != DEFAULT_NETWORK_ID:
+            result = self._server.ingest_binary(message.payload, network_id=self.network_id)
+        else:
+            result = self._server.ingest_binary(message.payload)
         if getattr(result, "ok", True):
             self.batches_bridged += 1
         else:
             self.batches_rejected += 1
+
+
+class HttpIngestClient:
+    """POSTs record batches to a monitoring server over real HTTP.
+
+    Targets the versioned network-scoped ingest route
+    (``POST /api/v1/networks/<id>/ingest``) and transparently falls back
+    to the legacy ``POST /api/ingest`` endpoint when talking to a
+    pre-v1 server (404 on the v1 path).  The fallback only applies for
+    the ``default`` network — a pre-v1 server cannot keep other
+    networks separate, so misrouting there would silently mix tenants.
+
+    Exposes the same ``ingest_json(raw)`` surface as
+    :class:`~repro.monitor.server.MonitorServer`, so it can stand in
+    for the direct server object behind an :class:`OutOfBandUplink` or
+    any other caller of :class:`SupportsIngestJson`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        network_id: str = DEFAULT_NETWORK_ID,
+        timeout_s: float = 5.0,
+    ) -> None:
+        try:
+            validate_network_id(network_id)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
+        if timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+        self.base_url = base_url.rstrip("/")
+        self.network_id = network_id
+        self._timeout = timeout_s
+        #: True once a 404 on the v1 route demoted us to the legacy path.
+        self.legacy_mode = False
+        self.posts_ok = 0
+        self.posts_failed = 0
+
+    @property
+    def v1_url(self) -> str:
+        return f"{self.base_url}/api/v1/networks/{self.network_id}/ingest"
+
+    @property
+    def legacy_url(self) -> str:
+        return f"{self.base_url}/api/ingest"
+
+    def _post(self, url: str, raw: bytes) -> int:
+        request = urllib.request.Request(
+            url, data=raw, headers={"Content-Type": "application/json"}, method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=self._timeout) as response:
+            return int(response.status)
+
+    def ingest_json(self, raw: bytes) -> IngestResult:
+        """POST one encoded batch; the result mirrors the HTTP outcome."""
+        url = self.legacy_url if self.legacy_mode else self.v1_url
+        try:
+            status = self._post(url, raw)
+        except urllib.error.HTTPError as exc:
+            if (
+                exc.code == 404
+                and not self.legacy_mode
+                and self.network_id == DEFAULT_NETWORK_ID
+            ):
+                # Pre-v1 server: remember and retry on the legacy route.
+                self.legacy_mode = True
+                return self.ingest_json(raw)
+            self.posts_failed += 1
+            retry_after: Optional[float] = None
+            if exc.code == 503:
+                header = exc.headers.get("Retry-After") if exc.headers else None
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+            return IngestResult(
+                ok=False, error=f"HTTP {exc.code}", retry_after_s=retry_after
+            )
+        except (urllib.error.URLError, OSError) as exc:
+            self.posts_failed += 1
+            return IngestResult(ok=False, error=str(exc))
+        self.posts_ok += 1
+        return IngestResult(ok=status in (200, 202))
 
 
 class SupportsIngestJson:  # pragma: no cover - typing helper
@@ -245,5 +348,5 @@ class SupportsIngestJson:  # pragma: no cover - typing helper
 class SupportsIngestBinary:  # pragma: no cover - typing helper
     """Structural interface: anything with ``ingest_binary(bytes)``."""
 
-    def ingest_binary(self, raw: bytes) -> object:
+    def ingest_binary(self, raw: bytes, network_id: Optional[str] = None) -> object:
         raise NotImplementedError

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import html
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 try:  # optional: nicer force-directed layout when available
     import networkx
@@ -145,8 +145,12 @@ def render_topology_svg(dashboard: Dashboard, width: int = 640, height: int = 42
     return "".join(parts)
 
 
-def render_html(dashboard: Dashboard, now: float) -> str:
-    """Full self-contained HTML dashboard page."""
+def render_html(dashboard: Dashboard, now: float, network_id: Optional[str] = None) -> str:
+    """Full self-contained HTML dashboard page.
+
+    ``network_id`` labels the page when it renders one network of a
+    multi-network server (the ``/networks/<id>`` view).
+    """
     dashboard.alerts.evaluate(now)
     document = dashboard.to_json_dict(now)
 
@@ -166,13 +170,14 @@ def render_html(dashboard: Dashboard, now: float) -> str:
     health_tile_class = _health_class(health)
     pdr_percent = None if pdr is None or (isinstance(pdr, float) and math.isnan(pdr)) else pdr * 100
 
+    label = "" if network_id is None else f" — network {html.escape(network_id)}"
     sections = [
         "<!DOCTYPE html>",
         '<html><head><meta charset="utf-8">',
         '<meta http-equiv="refresh" content="10">',
         "<title>LoRa mesh monitor</title>",
         f"<style>{_CSS}</style></head><body>",
-        f"<h1>LoRa mesh monitor <span class='muted'>t={now:.0f}s</span></h1>",
+        f"<h1>LoRa mesh monitor{label} <span class='muted'>t={now:.0f}s</span></h1>",
         '<div class="tiles">',
         f'<div class="tile {health_tile_class}"><div class="value">{fmt(health, "", 0)}</div>'
         '<div class="label">network health / 100</div></div>',
@@ -260,5 +265,75 @@ def render_html(dashboard: Dashboard, now: float) -> str:
         )
         sections.append("</table>")
 
+    sections.append("</body></html>")
+    return "\n".join(sections)
+
+
+def render_fleet_html(overview: Dict[str, Any]) -> str:
+    """Fleet overview page: one tile per network, totals, triage list.
+
+    ``overview`` is the document produced by
+    :func:`repro.monitor.fleet.fleet_overview`.
+    """
+    now = float(overview["now"])
+    tiles: List[Dict[str, Any]] = overview["networks"]
+    totals: Dict[str, Any] = overview["totals"]
+    unhealthy: List[Dict[str, Any]] = overview["top_unhealthy"]
+
+    def fmt(value: Optional[float], suffix: str = "", digits: int = 1) -> str:
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return '<span class="muted">–</span>'
+        return f"{float(value):.{digits}f}{suffix}"
+
+    sections = [
+        "<!DOCTYPE html>",
+        '<html><head><meta charset="utf-8">',
+        '<meta http-equiv="refresh" content="10">',
+        "<title>LoRa mesh monitor — fleet</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Fleet overview <span class='muted'>t={now:.0f}s</span></h1>",
+        '<div class="tiles">',
+        f'<div class="tile"><div class="value">{totals["networks"]}</div>'
+        '<div class="label">networks</div></div>',
+        f'<div class="tile"><div class="value">{totals["nodes"]}</div>'
+        '<div class="label">nodes</div></div>',
+        f'<div class="tile"><div class="value">{totals["batches_ingested"]}</div>'
+        '<div class="label">batches ingested</div></div>',
+        f'<div class="tile"><div class="value">{totals["records_ingested"]}</div>'
+        '<div class="label">records ingested</div></div>',
+        "</div>",
+        "<h2>Networks</h2>",
+        '<div class="tiles">',
+    ]
+    for tile in tiles:
+        health = tile["health"]
+        klass = _health_class(health if health is not None else math.nan)
+        name = html.escape(str(tile["network"]))
+        sections.append(
+            f'<div class="tile {klass}">'
+            f'<div class="value">{fmt(health, "", 0)}</div>'
+            f'<div class="label"><a href="/networks/{name}" style="color:inherit">'
+            f"{name}</a> · {tile['nodes']} nodes · "
+            f"{tile['records_ingested']} records</div></div>"
+        )
+    sections.append("</div>")
+
+    sections.append(
+        "<h2>Most unhealthy</h2><table><tr><th>network</th><th>health</th>"
+        "<th>PDR</th><th>nodes</th><th>last batch</th></tr>"
+    )
+    for tile in unhealthy:
+        name = html.escape(str(tile["network"]))
+        pdr = tile["pdr"]
+        sections.append(
+            "<tr>"
+            f'<td><a href="/networks/{name}" style="color:inherit">{name}</a></td>'
+            f"<td>{fmt(tile['health'], '', 0)}</td>"
+            f"<td>{fmt(pdr * 100 if pdr is not None else None, '%', 1)}</td>"
+            f"<td>{tile['nodes']}</td>"
+            f"<td>{fmt(tile['last_batch_at'], 's', 0)}</td>"
+            "</tr>"
+        )
+    sections.append("</table>")
     sections.append("</body></html>")
     return "\n".join(sections)

@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.mesh.config import MeshConfig
+from repro.monitor.ingest import DEFAULT_NETWORK_ID, validate_network_id
 from repro.sim.topology import Placement
 
 
@@ -129,6 +130,10 @@ class ScenarioConfig:
             :class:`~repro.obs.recorder.FlightRecorder` reconstructing
             per-message lifecycles and a :class:`~repro.obs.spans.SpanProfiler`
             timing engine events.  Off by default (zero overhead).
+        network_id: mesh network this scenario's telemetry reports
+            under.  Single-network runs keep the implicit ``default``;
+            fleet experiments run N scenarios with distinct ids feeding
+            one shared multi-tenant server.
     """
 
     seed: int = 1
@@ -152,8 +157,13 @@ class ScenarioConfig:
     #: Optional node movement (None = static deployment, the paper's case).
     mobility: Optional[MobilitySpec] = None
     capture_trace: bool = False
+    network_id: str = DEFAULT_NETWORK_ID
 
     def __post_init__(self) -> None:
+        try:
+            validate_network_id(self.network_id)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
         if self.n_nodes < 2:
             raise ConfigurationError(f"n_nodes must be >= 2, got {self.n_nodes}")
         if self.protocol not in ("dv", "flood"):

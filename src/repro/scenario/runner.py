@@ -73,10 +73,32 @@ def auto_area_m(config: ScenarioConfig, link_model: LinkModel, params: LoRaParam
 
 
 class Scenario:
-    """A built (but not yet run) scenario."""
+    """A built (but not yet run) scenario.
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    Args:
+        config: the experiment description.
+        server: optional **shared** :class:`MonitorServer` to report
+            into instead of building a private one — the fleet shape,
+            where N scenarios with distinct ``config.network_id`` values
+            feed one multi-tenant server.  A shared server is not owned:
+            :meth:`close` leaves it (and its stores) running for the
+            other scenarios; whoever created it closes it.
+        ingest_target: optional override for where out-of-band uplinks
+            POST batches — anything with ``ingest_json(bytes)``, e.g. an
+            :class:`~repro.monitor.uplink.HttpIngestClient` so telemetry
+            crosses a real ``/api/v1`` HTTP boundary instead of calling
+            the server object directly.  Defaults to the server.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        server: Optional[MonitorServer] = None,
+        ingest_target: Optional[object] = None,
+    ) -> None:
         self.config = config
+        self._shared_server = server
+        self._ingest_target = ingest_target
         self.rng = RngRegistry(seed=config.seed)
         # The profiler is always present but disabled unless the scenario
         # opts in — the engine's disabled-path cost is a single local check
@@ -136,17 +158,27 @@ class Scenario:
         config = self.config
         if config.monitor_mode is MonitorMode.NONE:
             return
-        self.store = MetricsStore()
-        self.server = MonitorServer(store=self.store, clock=lambda: self.sim.now)
+        if self._shared_server is not None:
+            # Fleet mode: report into the injected multi-tenant server.
+            # Create this network's shard eagerly so dashboards and the
+            # fleet overview see it before the first batch lands.
+            self.server = self._shared_server
+            self.store = self.server.registry.get_or_create(config.network_id).store
+        else:
+            self.store = MetricsStore()
+            self.server = MonitorServer(clock=lambda: self.sim.now)
+            self.server.registry.adopt(config.network_id, self.store)
         client_config = MonitorClientConfig(
             report_interval_s=config.report_interval_s,
             packet_sample_rate=config.packet_sample_rate,
+            network_id=config.network_id,
         )
+        ingest_target = self._ingest_target if self._ingest_target is not None else self.server
         if config.monitor_mode is MonitorMode.OUT_OF_BAND:
             for address, node in self.nodes.items():
                 uplink = OutOfBandUplink(
                     self.sim,
-                    self.server,
+                    ingest_target,
                     self.rng.stream(f"uplink.{address}"),
                     loss_probability=config.uplink_loss,
                 )
@@ -166,7 +198,9 @@ class Scenario:
             )
             reliable = config.monitor_mode is MonitorMode.IN_BAND_RELIABLE
             gateway_node = self.nodes[config.gateway]
-            self.bridge = GatewayBridge(gateway_node, self.server)
+            self.bridge = GatewayBridge(
+                gateway_node, self.server, network_id=config.network_id
+            )
             if reliable:
                 from repro.mesh.endtoend import ReliableMessenger
 
@@ -180,7 +214,7 @@ class Scenario:
                     # records go out-of-band.
                     uplink: Uplink = OutOfBandUplink(
                         self.sim,
-                        self.server,
+                        ingest_target,
                         self.rng.stream(f"uplink.{address}"),
                         loss_probability=config.uplink_loss,
                     )
@@ -262,7 +296,11 @@ class Scenario:
 
         After :meth:`run` the returned :class:`ScenarioResult` co-owns
         the store; closes are idempotent, so either handle may close.
+        A shared (injected) server is left running — its owner closes
+        it, and with it every network's store.
         """
+        if self._shared_server is not None:
+            return
         if self.server is not None:
             self.server.close()
         elif self.store is not None:
@@ -317,9 +355,13 @@ class Scenario:
         )
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build and run one scenario."""
-    return Scenario(config).run()
+def run_scenario(
+    config: ScenarioConfig,
+    server: Optional[MonitorServer] = None,
+    ingest_target: Optional[object] = None,
+) -> ScenarioResult:
+    """Build and run one scenario (see :class:`Scenario` for the knobs)."""
+    return Scenario(config, server=server, ingest_target=ingest_target).run()
 
 
 def build_lorawan_star(

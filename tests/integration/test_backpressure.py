@@ -9,7 +9,8 @@ per-record dedup absorbs any double-delivery.
 """
 
 from repro.monitor.records import Direction, PacketRecord, RecordBatch
-from repro.monitor.server import BackpressurePolicy, MonitorServer
+from repro.monitor.ingest import BackpressurePolicy
+from repro.monitor.server import MonitorServer
 from repro.monitor.uplink import OutOfBandUplink
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry

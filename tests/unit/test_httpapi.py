@@ -192,7 +192,7 @@ class TestServerSelfMetricsEndpoint:
 class TestBackpressureOverHttp:
     @pytest.fixture
     def saturated_server(self):
-        from repro.monitor.server import BackpressurePolicy
+        from repro.monitor.ingest import BackpressurePolicy
         store = MetricsStore()
         monitor_server = MonitorServer(
             store=store, clock=lambda: 100.0,

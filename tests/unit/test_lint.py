@@ -430,7 +430,65 @@ class TestRL006StoreLifecycle:
             "from repro.monitor.storage import MetricsStore\n"
             "store = MetricsStore()\n"
         )
-        assert lint_file(path) == []
+        # The deep import trips RL007 (facade bypass) but not RL006.
+        assert "RL006" not in rule_ids(lint_file(path))
+
+
+class TestRL007FacadeBypass:
+    def test_deep_import_in_test_code_flagged(self, tmp_path):
+        path = tmp_path / "test_something.py"
+        path.write_text("from repro.monitor.server import MonitorServer\n")
+        violations = lint_file(path)
+        assert rule_ids(violations) == ["RL007"]
+        assert "repro.api" in violations[0].message
+
+    def test_deep_import_in_loose_script_flagged(self, tmp_path):
+        # benchmarks/ and examples/ files are loose scripts (no package).
+        path = tmp_path / "bench_thing.py"
+        path.write_text("from repro.scenario.runner import run_scenario\n")
+        assert rule_ids(lint_file(path)) == ["RL007"]
+
+    def test_facade_import_clean(self, tmp_path):
+        path = tmp_path / "test_something.py"
+        path.write_text("from repro.api import MonitorServer, run_scenario\n")
+        assert rule_ids(lint_file(path)) == []
+
+    def test_top_level_import_clean(self, tmp_path):
+        path = tmp_path / "test_something.py"
+        path.write_text("from repro import MonitorServer\n")
+        assert rule_ids(lint_file(path)) == []
+
+    def test_internal_name_deep_import_clean(self, tmp_path):
+        # Testing internals on purpose stays possible: only names the
+        # facade exports are flagged.
+        path = tmp_path / "test_something.py"
+        path.write_text("from repro.monitor.ingest import SeqWindow\n")
+        assert rule_ids(lint_file(path)) == []
+
+    def test_library_code_exempt(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "repro/monitor/httpapi.py",
+            "from repro.monitor.server import MonitorServer\n",
+        )
+        assert rule_ids(lint_file(path)) == []
+
+    def test_only_facade_aliases_flagged_in_mixed_import(self, tmp_path):
+        path = tmp_path / "test_something.py"
+        path.write_text(
+            "from repro.monitor.server import MonitorServer, _SeqWindow\n"
+        )
+        violations = lint_file(path)
+        assert rule_ids(violations) == ["RL007"]
+        assert "MonitorServer" in violations[0].message
+
+    def test_hardcoded_names_match_facade_all(self):
+        # The rule keeps a static copy of repro.api.__all__ so linting
+        # never imports the full stack; this is the sync contract.
+        import repro.api
+        from repro.lint.rules.facade import _FACADE_NAMES
+
+        assert _FACADE_NAMES == frozenset(repro.api.__all__)
 
 
 class TestSuppressions:
@@ -499,9 +557,11 @@ class TestSuppressions:
 
 
 class TestRegistryAndEngine:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         ids = default_registry().ids
-        assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"} <= ids
+        assert {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
+        } <= ids
 
     def test_select_and_ignore(self, tmp_path):
         source = """

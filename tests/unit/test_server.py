@@ -128,7 +128,7 @@ class TestIngestion:
 
 class TestBackpressure:
     def saturated_server(self, policy="reject"):
-        from repro.monitor.server import BackpressurePolicy
+        from repro.monitor.ingest import BackpressurePolicy
         return MonitorServer(
             queue_capacity=2, backpressure=BackpressurePolicy(policy),
             autodrain=False, retry_after_s=3.0,
