@@ -14,19 +14,37 @@ routing and records it in ``BENCH_fleet.json`` at the repo root:
 3. **Shard creation / eviction.**  First-batch cost for a new network
    (lazy shard creation) and steady-state cost under an LRU cap forcing
    an eviction per new tenant, both as informational context.
+4. **Codec table.**  Per-record encode/decode cost and wire size for
+   the JSON and binary telemetry codecs; the binary codec must be at
+   least 3x cheaper per record (encode+decode) on any host.
+5. **Transport table.**  End-to-end ingest rate per codec x transport
+   (threaded HTTP with JSON and binary bodies, the in-process UDP
+   datagram path, the multi-process decode front).  On hosts with >= 4
+   cores the multi-process front must beat threaded HTTP+JSON by 2x;
+   smaller machines record the numbers without asserting (the workers
+   can only timeshare, and ``host.cpu_count`` in the JSON says so).
 """
 
 import json
+import os
 import random
 import time
 from pathlib import Path
 
 from repro.analysis.report import ExperimentReport
 from repro.api import (
+    BinaryCodec,
+    Dashboard,
     Direction,
+    HttpIngestClient,
+    JsonCodec,
+    MetricsStore,
     MonitorServer,
+    MonitoringHttpServer,
+    MultiProcessIngestFront,
     PacketRecord,
     RecordBatch,
+    UdpIngestTransport,
     fleet_overview,
 )
 
@@ -41,6 +59,10 @@ N_BATCHES = 120  # per sweep point: 12k packet records total, every time
 FLEET_SIZES = (1, 2, 4, 8)
 #: the sharding contract: >= 60 % of the single-network rate at 8 networks
 MIN_RELATIVE_RATE = 0.6
+#: the codec contract: binary encode+decode >= 3x cheaper than JSON
+MIN_CODEC_SPEEDUP = 3.0
+#: the scale-out contract (>= 4 cores): multi-process front >= 2x threaded HTTP+JSON
+MIN_MP_SPEEDUP = 2.0
 
 
 def synthetic_batch(node, batch_seq, rng, network_id="default"):
@@ -132,10 +154,122 @@ def measure_shard_churn():
     return churn
 
 
+def measure_codecs(repeats=200):
+    """Per-record encode/decode microseconds and wire bytes per codec."""
+    rng = random.Random(31)
+    batch = synthetic_batch(node=3, batch_seq=1, rng=rng)
+    table = {}
+    for codec in (JsonCodec(), BinaryCodec()):
+        raw = codec.encode(batch)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            codec.encode(batch)
+        encode_s = (time.perf_counter() - start) / repeats
+        start = time.perf_counter()
+        for _ in range(repeats):
+            codec.decode(raw)
+        decode_s = (time.perf_counter() - start) / repeats
+        table[codec.name] = {
+            "encode_us_per_record": encode_s / RECORDS_PER_BATCH * 1e6,
+            "decode_us_per_record": decode_s / RECORDS_PER_BATCH * 1e6,
+            "bytes_per_record": len(raw) / RECORDS_PER_BATCH,
+        }
+    json_cost = (
+        table["json"]["encode_us_per_record"] + table["json"]["decode_us_per_record"]
+    )
+    binary_cost = (
+        table["binary"]["encode_us_per_record"]
+        + table["binary"]["decode_us_per_record"]
+    )
+    table["speedup_binary_vs_json"] = json_cost / binary_cost
+    table["size_ratio_json_vs_binary"] = (
+        table["json"]["bytes_per_record"] / table["binary"]["bytes_per_record"]
+    )
+    return table
+
+
+def transport_raws(codec, n_networks=8, seed=9):
+    rng = random.Random(seed)
+    raws = []
+    for index in range(N_BATCHES):
+        batch = synthetic_batch(
+            node=(index % N_NODES) + 1,
+            batch_seq=index // N_NODES,
+            rng=rng,
+            network_id=f"site-{index % n_networks:02d}",
+        )
+        raws.append(codec.encode(batch))
+    return raws
+
+
+def measure_transports():
+    """Records/s per codec x transport over the identical 8-network workload."""
+    total_records = N_BATCHES * RECORDS_PER_BATCH
+    rows = {}
+
+    # Threaded HTTP, both codecs: real sockets, the serve-CLI hot path.
+    for codec in (JsonCodec(), BinaryCodec()):
+        raws = transport_raws(codec)
+        store = MetricsStore()
+        server = MonitorServer(store=store)
+        http_server = MonitoringHttpServer(
+            server, Dashboard(store, report_interval_s=60.0), port=0
+        )
+        http_server.start()
+        try:
+            client = HttpIngestClient(http_server.url, codec=codec)
+            start = time.perf_counter()
+            for index, raw in enumerate(raws):
+                client.network_id = f"site-{index % 8:02d}"
+                result = client.ingest_encoded(raw, codec)
+                assert result.ok
+            elapsed = time.perf_counter() - start
+        finally:
+            http_server.stop()
+        rows[f"http+{codec.name}"] = total_records / elapsed
+
+    # UDP datagram path (in-process; the socket adds kernel copies, not
+    # decode work, and in-process keeps the bench loss-free).
+    raws = transport_raws(BinaryCodec())
+    server = MonitorServer()
+    udp = UdpIngestTransport(server)
+    start = time.perf_counter()
+    for raw in raws:
+        assert udp.handle_datagram(raw)
+    elapsed = time.perf_counter() - start
+    rows["udp+binary"] = total_records / elapsed
+
+    # Multi-process decode front over the JSON wire bytes.
+    raws = transport_raws(JsonCodec())
+    server = MonitorServer()
+    front = MultiProcessIngestFront(server, codec="json")
+    front.start()
+    try:
+        start = time.perf_counter()
+        for raw in raws:
+            front.submit_encoded(raw)
+        results = front.flush()
+        elapsed = time.perf_counter() - start
+        assert len(results) == N_BATCHES and all(r.ok for r in results)
+    finally:
+        front.stop()
+    rows["mpfront+json"] = total_records / elapsed
+
+    return {
+        "records_per_s": {name: round(rate, 1) for name, rate in rows.items()},
+        "mp_workers": front.workers,
+        "mp_speedup_vs_http_json": round(
+            rows["mpfront+json"] / rows["http+json"], 4
+        ),
+    }
+
+
 def collect():
     rates = measure_scaling()
     overview_ms = measure_overview_latency()
     churn = measure_shard_churn()
+    codecs = measure_codecs()
+    transports = measure_transports()
     return {
         "schema": "repro.bench.fleet/1",
         "bench": "F12",
@@ -153,6 +287,16 @@ def collect():
         "shard_churn_us_per_batch": {
             key: round(value, 1) for key, value in churn.items()
         },
+        "codecs": {
+            name: (
+                {key: round(value, 3) for key, value in row.items()}
+                if isinstance(row, dict)
+                else round(row, 3)
+            )
+            for name, row in codecs.items()
+        },
+        "transports": transports,
+        "host": {"cpu_count": os.cpu_count()},
     }
 
 
@@ -179,6 +323,23 @@ def build_report(results):
     )
     for key, value in results["shard_churn_us_per_batch"].items():
         report.add_row(f"shard_{key}", f"{value:.1f}", "us/batch")
+    for name in ("json", "binary"):
+        row = results["codecs"][name]
+        report.add_row(
+            f"codec_{name}",
+            f"{row['encode_us_per_record']:.2f}+{row['decode_us_per_record']:.2f}",
+            "us/record (enc+dec)",
+        )
+    report.add_row(
+        "codec_speedup", f"{results['codecs']['speedup_binary_vs_json']:.2f}", "x"
+    )
+    for name, rate in results["transports"]["records_per_s"].items():
+        report.add_row(f"transport_{name}", f"{rate:.0f}", "records/s")
+    report.add_row(
+        "mp_vs_http_json",
+        f"{results['transports']['mp_speedup_vs_http_json']:.2f}",
+        "x",
+    )
     return report
 
 
@@ -189,6 +350,14 @@ def test_f12_fleet_scaling(benchmark):
 
     assert results["scaling"]["relative_rate_at_8"] >= MIN_RELATIVE_RATE
     assert results["overview"]["fleet_overview_ms"] < 500.0
+    # The binary codec earns its place on any host.
+    assert results["codecs"]["speedup_binary_vs_json"] >= MIN_CODEC_SPEEDUP
+    assert results["codecs"]["size_ratio_json_vs_binary"] >= 3.0
+    # The multi-process front needs cores to scale onto (like bench_c1).
+    if (os.cpu_count() or 1) >= 4:
+        assert (
+            results["transports"]["mp_speedup_vs_http_json"] >= MIN_MP_SPEEDUP
+        )
 
     # Benchmark unit: one JSON batch into a warm 8-network server.
     server = MonitorServer()

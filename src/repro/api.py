@@ -39,6 +39,13 @@ from repro.errors import ReproError
 from repro.mesh import BROADCAST, MeshConfig, MeshNode, Packet, PacketType
 from repro.monitor.alerts import Alert, AlertEngine
 from repro.monitor.client import MonitorClient, MonitorClientConfig
+from repro.monitor.codec import (
+    BinaryCodec,
+    Codec,
+    JsonCodec,
+    codec_for_content_type,
+    resolve_codec,
+)
 from repro.monitor.dashboard import Dashboard
 from repro.monitor.fleet import fleet_overview, network_tile
 from repro.monitor.httpapi import MonitoringHttpServer
@@ -54,12 +61,21 @@ from repro.monitor.routes import schema_document
 from repro.monitor.server import MonitorServer
 from repro.monitor.sqlitestore import SqliteMetricsStore, sqlite_store_factory
 from repro.monitor.storage import MetricsStore
+from repro.monitor.transport import (
+    HttpIngestTransport,
+    IngestTransport,
+    MultiProcessIngestFront,
+    SequenceGapTracker,
+    TelemetryGapAccountant,
+    UdpIngestTransport,
+)
 from repro.monitor.uplink import (
     GatewayBridge,
     HttpIngestClient,
     InBandUplink,
     OutOfBandUplink,
     ReliableInBandUplink,
+    UdpIngestClient,
 )
 from repro.obs.ndjson import export_trace, read_trace, replay_into_recorder
 from repro.obs.recorder import FlightRecorder
@@ -115,12 +131,26 @@ __all__ = [
     "RecordBatch",
     "MonitorClient",
     "MonitorClientConfig",
+    # monitoring: codecs
+    "Codec",
+    "JsonCodec",
+    "BinaryCodec",
+    "resolve_codec",
+    "codec_for_content_type",
     # monitoring: uplinks
     "OutOfBandUplink",
     "InBandUplink",
     "ReliableInBandUplink",
     "GatewayBridge",
     "HttpIngestClient",
+    "UdpIngestClient",
+    # monitoring: ingest transports
+    "IngestTransport",
+    "HttpIngestTransport",
+    "UdpIngestTransport",
+    "MultiProcessIngestFront",
+    "SequenceGapTracker",
+    "TelemetryGapAccountant",
     # monitoring: server and multi-tenancy
     "MonitorServer",
     "BackpressurePolicy",

@@ -104,6 +104,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.monitor.httpapi import MonitoringHttpServer
+    from repro.monitor.transport import HttpIngestTransport, UdpIngestTransport
 
     config = _config_from_args(args)
     if config.monitor_mode is MonitorMode.NONE:
@@ -118,15 +119,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
     http_server = MonitoringHttpServer(
         result.server, dashboard, port=args.port, clock=lambda: frozen_now
     )
-    http_server.start()
+    http_transport = result.server.attach_transport(HttpIngestTransport(http_server))
+    http_transport.start()
+    udp_transport = None
+    if args.udp_port is not None:
+        udp_transport = result.server.attach_transport(
+            UdpIngestTransport(
+                result.server, port=args.udp_port, codec=args.codec
+            )
+        )
+        udp_transport.start()
     print(f"dashboard at {http_server.url}  (Ctrl-C to stop)")
+    if udp_transport is not None:
+        print(
+            f"udp ingest on port {udp_transport.port} "
+            f"(codec={args.codec}; see PROTOCOL.md for the datagram format)"
+        )
     try:
         while True:
             time.sleep(1.0)
     except KeyboardInterrupt:
         pass
     finally:
-        http_server.stop()
+        if udp_transport is not None:
+            udp_transport.stop()
+        http_transport.stop()
     return 0
 
 
@@ -228,6 +245,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser = subparsers.add_parser("serve", help="run a scenario, serve it over HTTP")
     _add_scenario_args(serve_parser)
     serve_parser.add_argument("--port", type=int, default=8080, help="HTTP port")
+    serve_parser.add_argument(
+        "--udp-port", type=int, default=None,
+        help="also accept telemetry datagrams on this UDP port (0 = any free port)",
+    )
+    serve_parser.add_argument(
+        "--codec", choices=["binary", "json"], default="binary",
+        help="wire encoding expected on the UDP ingest port",
+    )
     serve_parser.set_defaults(func=cmd_serve)
 
     airtime_parser = subparsers.add_parser("airtime", help="LoRa time-on-air calculator")

@@ -65,11 +65,23 @@ _FACADE_NAMES: FrozenSet[str] = frozenset(
         "RecordBatch",
         "MonitorClient",
         "MonitorClientConfig",
+        "Codec",
+        "JsonCodec",
+        "BinaryCodec",
+        "resolve_codec",
+        "codec_for_content_type",
         "OutOfBandUplink",
         "InBandUplink",
         "ReliableInBandUplink",
         "GatewayBridge",
         "HttpIngestClient",
+        "UdpIngestClient",
+        "IngestTransport",
+        "HttpIngestTransport",
+        "UdpIngestTransport",
+        "MultiProcessIngestFront",
+        "SequenceGapTracker",
+        "TelemetryGapAccountant",
         "MonitorServer",
         "BackpressurePolicy",
         "IngestResult",

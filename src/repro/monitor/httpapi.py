@@ -48,6 +48,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.monitor import fleet as fleet_mod
 from repro.monitor import health as health_mod
+from repro.monitor.codec import codec_for_content_type
 from repro.monitor.dashboard import Dashboard
 from repro.monitor.ingest import DEFAULT_NETWORK_ID, is_valid_network_id
 from repro.monitor.routes import (
@@ -449,11 +450,17 @@ class MonitoringHttpServer:
                 length = int(self.headers.get("Content-Length", "0"))
                 raw = self.rfile.read(length)
                 if legacy:
-                    # Pre-v1 behaviour: the batch's own stamp (or its
-                    # absence, meaning ``default``) decides the network.
+                    # Pre-v1 behaviour: JSON only; the batch's own stamp
+                    # (or its absence, meaning ``default``) decides the
+                    # network.
                     result = api.monitor_server.ingest_json(raw)
                 else:
-                    result = api.monitor_server.ingest_json(raw, network_id=network)
+                    # v1 negotiates the codec via Content-Type; absent or
+                    # JSON types run the exact historical JSON path.
+                    codec = codec_for_content_type(self.headers.get("Content-Type"))
+                    result = api.monitor_server.ingest_encoded(
+                        raw, codec, network_id=network
+                    )
                 if result.ok:
                     self._send_json(
                         {

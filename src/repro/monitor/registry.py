@@ -50,6 +50,9 @@ class NetworkShard:
         self.batches_ingested = 0
         self.records_ingested = 0
         self.dedup_hits = 0
+        #: Batches that arrived as UDP telemetry datagrams (subset of
+        #: ``batches_ingested``; maintained by the UDP transport).
+        self.datagram_batches = 0
 
     def to_json_dict(self) -> Dict[str, object]:
         """Per-network ingest counters for the fleet/summary documents."""
@@ -58,6 +61,7 @@ class NetworkShard:
             "batches_ingested": self.batches_ingested,
             "records_ingested": self.records_ingested,
             "dedup_hits": self.dedup_hits,
+            "datagram_batches": self.datagram_batches,
             "queued_batches": self.queued_batches,
             "last_batch_at": self.last_batch_at,
         }

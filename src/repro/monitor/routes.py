@@ -231,8 +231,12 @@ ROUTES: Tuple[Route, ...] = (
         method="POST",
         pattern="/api/v1/networks/<network>/ingest",
         summary=(
-            "Ingest one JSON record batch for this network; 503 + Retry-After "
-            "under backpressure, 400 on malformed or cross-network batches."
+            "Ingest one record batch for this network. The codec is negotiated "
+            "via Content-Type: application/json (default) or the compact "
+            "binary telemetry format application/vnd.repro.telemetry+binary "
+            "(see PROTOCOL.md). 503 + Retry-After under backpressure, 400 on "
+            "malformed or cross-network batches. The legacy /api/ingest alias "
+            "is JSON-only."
         ),
         response="object: ok, queued, accepted_packets, accepted_status, duplicates",
     ),

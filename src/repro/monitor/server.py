@@ -76,12 +76,14 @@ from repro.monitor.ingest import (
 )
 
 if TYPE_CHECKING:  # public names, for annotations only
+    from repro.monitor.codec import Codec
     from repro.monitor.ingest import (
         BackpressurePolicy,
         IngestResult,
         ServerSelfMetrics,
         ServerStats,
     )
+    from repro.monitor.transport.base import IngestTransport
 from repro.monitor.records import RecordBatch
 from repro.monitor.registry import NetworkRegistry, NetworkShard, StoreFactory
 from repro.monitor.storage import MetricsStore
@@ -175,6 +177,7 @@ class MonitorServer:
         self.retry_after_s = retry_after_s
         self.network_queue_quota = network_queue_quota
         self._queue: Deque[RecordBatch] = deque()
+        self._transports: List[IngestTransport] = []
 
     # -- tenancy --------------------------------------------------------------
 
@@ -258,9 +261,66 @@ class MonitorServer:
             batch = dataclasses.replace(batch, network_id=network_id)
         return self.submit(batch)
 
+    def ingest_encoded(
+        self,
+        raw: bytes,
+        codec: Union["Codec", str],
+        network_id: Optional[str] = None,
+    ) -> IngestResult:
+        """Ingest wire bytes in any registered codec.
+
+        The ``json`` codec delegates to :meth:`ingest_json`, so the
+        legacy HTTP+JSON path runs the exact historical code.  Other
+        codecs share its stamping rules: an unstamped batch posted to a
+        network-scoped route is stamped with that network, a batch
+        stamped for a *different* network is refused.
+        """
+        from repro.monitor.codec import resolve_codec
+
+        resolved = resolve_codec(codec)
+        if resolved.name == "json":
+            return self.ingest_json(raw, network_id=network_id)
+        self.stats.bytes_received += len(raw)
+        try:
+            batch = resolved.decode(raw)
+        except DecodeError as exc:
+            self.stats.batches_rejected += 1
+            self.self_metrics.decode_failures += 1
+            return _IngestResult(ok=False, error=str(exc))
+        if network_id is not None:
+            if batch.network_id not in (DEFAULT_NETWORK_ID, network_id):
+                self.stats.batches_rejected += 1
+                self.self_metrics.decode_failures += 1
+                return _IngestResult(
+                    ok=False,
+                    error=(
+                        f"batch is stamped for network {batch.network_id!r} "
+                        f"but was posted to network {network_id!r}"
+                    ),
+                )
+            if batch.network_id != network_id:
+                batch = dataclasses.replace(batch, network_id=network_id)
+        return self.submit(batch)
+
     def ingest(self, batch: RecordBatch) -> IngestResult:
         """Ingest an already decoded batch (tests, local clients)."""
         return self.submit(batch)
+
+    # -- transports ----------------------------------------------------------
+
+    def attach_transport(self, transport: "IngestTransport") -> "IngestTransport":
+        """Register a transport so its counters join the self-metrics.
+
+        The server does not start the transport (the serve CLI owns the
+        lifecycle) but :meth:`close` stops every attached one.
+        """
+        self._transports.append(transport)
+        return transport
+
+    @property
+    def transports(self) -> List["IngestTransport"]:
+        """The attached transports (read-only view)."""
+        return list(self._transports)
 
     def submit(self, batch: RecordBatch) -> IngestResult:
         """Admit ``batch`` through the bounded queue, then maybe process it."""
@@ -453,6 +513,8 @@ class MonitorServer:
         closes them; store closes are idempotent, so an injected store
         may safely be closed again by its creator.
         """
+        for transport in self._transports:
+            transport.stop()
         self.drain()
         self.flush()
         self.registry.close()
@@ -478,6 +540,10 @@ class MonitorServer:
                 "networks": len(self.registry),
                 "network_queue_quota": self.network_queue_quota,
                 "network_evictions": self.registry.evictions,
+                "transports": {
+                    transport.name: transport.stats_document()
+                    for transport in self._transports
+                },
             }
         )
         store_stats = getattr(self.store, "flush_stats", None)

@@ -1,0 +1,162 @@
+"""UDP datagram ingest: the loss-tolerant fast path of the telemetry plane.
+
+One datagram = one encoded :class:`~repro.monitor.records.RecordBatch`
+(binary codec by default), in the TinyTelemetry shape: stateless,
+self-contained, no replies, no connections.  A lost datagram loses only
+its own records — and because every batch carries a ``batch_seq``, the
+per-(network, node) gap accounting in
+:class:`~repro.monitor.transport.base.TelemetryGapAccountant` turns
+that loss into a number the fleet dashboard can show instead of a blind
+spot.
+
+Malformed datagrams (truncated header, bad magic, wrong version,
+trailing garbage) are **counted and dropped, never raised**: a UDP
+socket is an open door, and a crash on garbage would be a one-packet
+denial of service.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import DecodeError
+from repro.monitor.codec import Codec, resolve_codec
+from repro.monitor.server import MonitorServer
+from repro.monitor.transport.base import IngestTransport, TelemetryGapAccountant
+
+#: Largest payload a single UDP datagram can carry (IPv4 maximum).
+MAX_DATAGRAM_BYTES = 65507
+
+
+class UdpIngestTransport(IngestTransport):
+    """A datagram socket feeding decoded batches into a monitor server."""
+
+    name = "udp"
+
+    def __init__(
+        self,
+        server: MonitorServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: Union[str, Codec] = "binary",
+        recv_buffer_bytes: int = 1 << 20,
+        accountant: Optional[TelemetryGapAccountant] = None,
+    ) -> None:
+        """Create (but do not start) the transport.
+
+        Args:
+            server: ingestion backend; datagram batches go through the
+                same admission queue and dedup as every other path.
+            host/port: bind address; port 0 picks a free port.
+            codec: wire encoding of the datagrams (default ``binary``).
+            recv_buffer_bytes: requested ``SO_RCVBUF`` — a deep kernel
+                buffer is the first line of defence against bursts.
+            accountant: sequence-gap accountant to share between
+                transports (a private one is created when omitted).
+        """
+        self._server = server
+        self._requested_address = (host, port)
+        self._codec = resolve_codec(codec)
+        self._recv_buffer_bytes = recv_buffer_bytes
+        self.accountant = accountant if accountant is not None else TelemetryGapAccountant()
+        self._socket: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._lock = threading.Lock()
+        self.datagrams_received = 0
+        self.bytes_received = 0
+        self.malformed_datagrams = 0
+        self.batches_submitted = 0
+        self.batches_refused = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound (after :meth:`start`)."""
+        if self._socket is None:
+            return self._requested_address
+        bound = self._socket.getsockname()
+        return bound[0], bound[1]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> None:
+        """Bind the socket and start the receive thread."""
+        if self._running:
+            return
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, self._recv_buffer_bytes)
+        except OSError:
+            pass  # the kernel caps SO_RCVBUF; the default still works
+        sock.bind(self._requested_address)
+        self._socket = sock
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._serve, name="udp-ingest", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Close the socket and join the receive thread (idempotent)."""
+        self._running = False
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _serve(self) -> None:
+        sock = self._socket
+        while self._running and sock is not None:
+            try:
+                raw, _ = sock.recvfrom(MAX_DATAGRAM_BYTES)
+            except OSError:
+                break  # stop() closed the socket under us
+            self.handle_datagram(raw)
+
+    def handle_datagram(self, raw: bytes) -> bool:
+        """Decode and submit one datagram; False when dropped.
+
+        Exposed directly (not only via the socket thread) so tests and
+        the multi-process front can drive the same accounting without a
+        network round trip.
+        """
+        self.datagrams_received += 1
+        self.bytes_received += len(raw)
+        try:
+            batch = self._codec.decode(raw)
+        except DecodeError:
+            self.malformed_datagrams += 1
+            return False
+        self.accountant.note(batch.network_id, batch.node, batch.batch_seq)
+        with self._lock:
+            result = self._server.submit(batch)
+            if result.ok:
+                shard = self._server.registry.get(batch.network_id)
+                if shard is not None:
+                    shard.datagram_batches += 1
+        if not result.ok:
+            # Backpressure refusal: UDP has no reply channel, so the
+            # refusal is visible here and in the server self-metrics.
+            self.batches_refused += 1
+            return False
+        self.batches_submitted += 1
+        return True
+
+    def stats_document(self) -> Dict[str, Any]:
+        return {
+            "transport": self.name,
+            "codec": self._codec.name,
+            "port": self.port,
+            "datagrams_received": self.datagrams_received,
+            "bytes_received": self.bytes_received,
+            "malformed_datagrams": self.malformed_datagrams,
+            "batches_submitted": self.batches_submitted,
+            "batches_refused": self.batches_refused,
+            "sequence": self.accountant.to_json_dict(),
+        }

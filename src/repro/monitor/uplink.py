@@ -18,15 +18,17 @@ Two modes, matching DESIGN.md's T3 ablation:
 from __future__ import annotations
 
 import random
+import socket
 import urllib.error
 import urllib.request
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.mesh.node import DeliveredMessage, MeshNode
 from repro.mesh.packet import PacketType
+from repro.monitor.codec import Codec, resolve_codec
 from repro.monitor.ingest import DEFAULT_NETWORK_ID, IngestResult, validate_network_id
 from repro.monitor.records import RecordBatch
 from repro.sim.engine import Simulator
@@ -84,6 +86,7 @@ class OutOfBandUplink(Uplink):
         latency_mean_s: float = 0.08,
         latency_jitter_s: float = 0.04,
         timeout_s: float = 10.0,
+        codec: Union[str, Codec] = "json",
     ) -> None:
         super().__init__()
         if not (0.0 <= loss_probability <= 1.0):
@@ -97,15 +100,19 @@ class OutOfBandUplink(Uplink):
         self._latency_mean = latency_mean_s
         self._jitter = latency_jitter_s
         self._timeout = timeout_s
+        #: Wire encoding of the POSTed batches.  ``json`` keeps the
+        #: paper's path; ``binary`` models a firmware that speaks the
+        #: compact telemetry format over HTTP (the T1/T3 size ablation).
+        self._codec = resolve_codec(codec)
 
     def wire_size(self, batch: RecordBatch) -> int:
-        return len(batch.to_json_bytes())
+        return len(self._codec.encode(batch))
 
     def _latency(self) -> float:
         return max(self._latency_mean + self._rng.uniform(-self._jitter, self._jitter), 1e-4)
 
     def send(self, batch: RecordBatch, on_result: ResultCallback) -> None:
-        raw = batch.to_json_bytes()
+        raw = self._codec.encode(batch)
         self.stats.batches_submitted += 1
         self.stats.bytes_sent += len(raw)
         if self._rng.random() < self._loss:
@@ -115,7 +122,17 @@ class OutOfBandUplink(Uplink):
             return
 
         def deliver() -> None:
-            result = self._server.ingest_json(raw)
+            if self._codec.name == "json":
+                result = self._server.ingest_json(raw)
+            else:
+                # Non-JSON codecs need the negotiating server surface.
+                ingest_encoded = getattr(self._server, "ingest_encoded", None)
+                if ingest_encoded is None:
+                    raise ConfigurationError(
+                        f"server {self._server!r} cannot ingest codec "
+                        f"{self._codec.name!r} (no ingest_encoded)"
+                    )
+                result = ingest_encoded(raw, self._codec)
             self.stats.batches_delivered += 1
             ok = bool(getattr(result, "ok", True))
             retry_after = getattr(result, "retry_after_s", None)
@@ -275,6 +292,7 @@ class HttpIngestClient:
         base_url: str,
         network_id: str = DEFAULT_NETWORK_ID,
         timeout_s: float = 5.0,
+        codec: Union[str, Codec] = "json",
     ) -> None:
         try:
             validate_network_id(network_id)
@@ -285,6 +303,9 @@ class HttpIngestClient:
         self.base_url = base_url.rstrip("/")
         self.network_id = network_id
         self._timeout = timeout_s
+        #: Default wire encoding for :meth:`send_batch`; negotiated on
+        #: the v1 route via ``Content-Type``.
+        self.codec = resolve_codec(codec)
         #: True once a 404 on the v1 route demoted us to the legacy path.
         self.legacy_mode = False
         self.posts_ok = 0
@@ -298,27 +319,39 @@ class HttpIngestClient:
     def legacy_url(self) -> str:
         return f"{self.base_url}/api/ingest"
 
-    def _post(self, url: str, raw: bytes) -> int:
+    def _post(self, url: str, raw: bytes, content_type: str) -> int:
         request = urllib.request.Request(
-            url, data=raw, headers={"Content-Type": "application/json"}, method="POST"
+            url, data=raw, headers={"Content-Type": content_type}, method="POST"
         )
         with urllib.request.urlopen(request, timeout=self._timeout) as response:
             return int(response.status)
 
     def ingest_json(self, raw: bytes) -> IngestResult:
-        """POST one encoded batch; the result mirrors the HTTP outcome."""
+        """POST one JSON-encoded batch; the result mirrors the HTTP outcome."""
+        return self.ingest_encoded(raw, "json")
+
+    def send_batch(self, batch: RecordBatch) -> IngestResult:
+        """Encode ``batch`` with the configured codec and POST it."""
+        return self.ingest_encoded(self.codec.encode(batch), self.codec)
+
+    def ingest_encoded(self, raw: bytes, codec: Union[str, Codec]) -> IngestResult:
+        """POST wire bytes in ``codec``'s encoding (``Content-Type`` negotiated)."""
+        codec = resolve_codec(codec)
         url = self.legacy_url if self.legacy_mode else self.v1_url
         try:
-            status = self._post(url, raw)
+            status = self._post(url, raw, codec.content_type)
         except urllib.error.HTTPError as exc:
             if (
                 exc.code == 404
                 and not self.legacy_mode
                 and self.network_id == DEFAULT_NETWORK_ID
+                and codec.name == "json"
             ):
                 # Pre-v1 server: remember and retry on the legacy route.
+                # The legacy endpoint is JSON-only, so other codecs
+                # surface the 404 instead of misrouting.
                 self.legacy_mode = True
-                return self.ingest_json(raw)
+                return self.ingest_encoded(raw, codec)
             self.posts_failed += 1
             retry_after: Optional[float] = None
             if exc.code == 503:
@@ -336,6 +369,48 @@ class HttpIngestClient:
             return IngestResult(ok=False, error=str(exc))
         self.posts_ok += 1
         return IngestResult(ok=status in (200, 202))
+
+
+class UdpIngestClient:
+    """Fire-and-forget telemetry datagrams to a UDP ingest transport.
+
+    One datagram per batch, binary codec by default, no replies and no
+    retries: delivery is at-most-once by design, and the server's
+    sequence-gap accounting (not an ack channel) quantifies the loss.
+    Suits the monitoring plane's cheapest-possible-uplink corner; use
+    :class:`HttpIngestClient` when at-least-once delivery matters.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: Union[str, Codec] = "binary",
+    ) -> None:
+        if not (0 < port < 65536):
+            raise ConfigurationError(f"port must be 1..65535, got {port}")
+        self.address = (host, port)
+        self.codec = resolve_codec(codec)
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.datagrams_sent = 0
+        self.bytes_sent = 0
+
+    def send_batch(self, batch: RecordBatch) -> int:
+        """Encode and send one batch; returns the datagram size in bytes."""
+        raw = self.codec.encode(batch)
+        self._socket.sendto(raw, self.address)
+        self.datagrams_sent += 1
+        self.bytes_sent += len(raw)
+        return len(raw)
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def __enter__(self) -> "UdpIngestClient":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
 
 
 class SupportsIngestJson:  # pragma: no cover - typing helper

@@ -224,3 +224,108 @@ class TestRecordCodecs:
         assert from_json.record_count == batch.record_count
         assert from_binary.record_count == batch.record_count
         assert [r.seq for r in from_binary.packet_records] == [r.seq for r in packets]
+
+
+# Valid ids: 1-64 chars of [A-Za-z0-9_.-], starting alphanumeric.
+network_ids = st.one_of(
+    st.just("default"),
+    st.builds(
+        lambda head, tail: head + tail,
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=1),
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_.", max_size=63),
+    ),
+)
+
+
+@st.composite
+def record_batches(draw):
+    from dataclasses import replace
+    node = draw(st.integers(1, 0xFFFE))
+    packets = tuple(
+        replace(r, node=node) for r in draw(st.lists(packet_records(), max_size=10))
+    )
+    statuses = tuple(
+        replace(r, node=node) for r in draw(st.lists(status_records(), max_size=2))
+    )
+    batch = RecordBatch(
+        node=node,
+        batch_seq=draw(st.integers(0, 0xFFFF)),
+        sent_at=draw(timestamps),
+        packet_records=packets,
+        status_records=statuses,
+        dropped_records=draw(st.integers(0, 0xFFFF)),
+    )
+    return replace(batch, network_id=draw(network_ids))
+
+
+class TestDatagramCodec:
+    """The datagram (UDP/negotiated-HTTP) framing of the binary codec."""
+
+    def codec(self):
+        from repro.monitor.codec import BinaryCodec
+        return BinaryCodec()
+
+    @given(record_batches())
+    @settings(max_examples=100)
+    def test_round_trip_preserves_identity(self, batch):
+        codec = self.codec()
+        decoded = codec.decode(codec.encode(batch))
+        assert decoded.node == batch.node
+        assert decoded.batch_seq == batch.batch_seq
+        assert decoded.network_id == batch.network_id
+        assert decoded.dropped_records == batch.dropped_records
+        assert decoded.record_count == batch.record_count
+        assert [r.seq for r in decoded.packet_records] == [
+            r.seq for r in batch.packet_records
+        ]
+        for mine, theirs in zip(batch.packet_records, decoded.packet_records):
+            assert theirs.direction == mine.direction
+            assert theirs.timestamp == pytest.approx(mine.timestamp, abs=0.011)
+            if mine.direction is Direction.IN:
+                assert theirs.rssi_dbm == pytest.approx(mine.rssi_dbm, abs=0.051)
+                assert theirs.snr_db == pytest.approx(mine.snr_db, abs=0.051)
+
+    @given(record_batches())
+    @settings(max_examples=100)
+    def test_re_encode_is_stable(self, batch):
+        # Quantisation happens exactly once: encode(decode(encode(b)))
+        # is byte-identical to encode(b), so relays and the
+        # multi-process front can transcode without drift.
+        codec = self.codec()
+        first = codec.encode(batch)
+        assert codec.encode(codec.decode(first)) == first
+
+    @given(record_batches(), st.integers(min_value=0, max_value=2000))
+    @settings(max_examples=100)
+    def test_truncation_never_escapes_decode_error(self, batch, cut):
+        codec = self.codec()
+        raw = codec.encode(batch)
+        if cut >= len(raw):
+            return
+        with pytest.raises(DecodeError):
+            codec.decode(raw[:cut])
+
+    @given(
+        record_batches(),
+        st.integers(min_value=0, max_value=2000),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=200)
+    def test_bit_flips_reject_or_reencode_cleanly(self, batch, byte_index, bit):
+        # A UDP socket is an open door: whatever arrives must either be
+        # rejected with DecodeError or decode into a batch the codec can
+        # re-encode — no other exception may escape, ever.  The result
+        # may differ from the flipped bytes (a flipped direction flag
+        # normalises away fields the other direction does not carry),
+        # but normalisation must converge after one round trip.
+        codec = self.codec()
+        raw = bytearray(codec.encode(batch))
+        if byte_index >= len(raw):
+            return
+        raw[byte_index] ^= 1 << bit
+        try:
+            decoded = codec.decode(bytes(raw))
+        except DecodeError:
+            return  # rejected: good
+        normalised = codec.encode(decoded)
+        assert codec.encode(codec.decode(normalised)) == normalised

@@ -231,3 +231,83 @@ class TestBackpressureOverHttp:
         assert status == 200
         assert body["server"]["queue_capacity"] == 1
         assert body["server"]["backpressure"] == "reject"
+
+
+def post_with_type(server, path, body, content_type):
+    request = urllib.request.Request(
+        f"{server.url}{path}", data=body, method="POST",
+        headers={"Content-Type": content_type} if content_type else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestCodecNegotiationOverHttp:
+    def binary_body(self, node=1, network_id=None):
+        import dataclasses
+
+        from repro.monitor.codec import BinaryCodec
+
+        record = PacketRecord(
+            node=node, seq=0, timestamp=50.0, direction=Direction.IN,
+            src=2, dst=node, next_hop=node, prev_hop=2, ptype=3, packet_id=1,
+            size_bytes=40, rssi_dbm=-100.0, snr_db=5.0,
+        )
+        batch = RecordBatch(node=node, batch_seq=0, sent_at=50.0, packet_records=(record,))
+        if network_id is not None:
+            batch = dataclasses.replace(batch, network_id=network_id)
+        return BinaryCodec().encode(batch)
+
+    def test_binary_post_to_v1_ingest(self, http_server):
+        from repro.monitor.codec import BINARY_CONTENT_TYPE
+        status, body = post_with_type(
+            http_server, "/api/v1/networks/default/ingest",
+            self.binary_body(), BINARY_CONTENT_TYPE,
+        )
+        assert status == 200 and body["ok"] and body["accepted_packets"] == 1
+        status, nodes = get(http_server, "/api/v1/networks/default/nodes")
+        assert [row["node"] for row in nodes] == [1]
+
+    def test_binary_body_with_json_content_type_is_400(self, http_server):
+        status, body = post_with_type(
+            http_server, "/api/v1/networks/default/ingest",
+            self.binary_body(), "application/json",
+        )
+        assert status == 400 and not body["ok"]
+
+    def test_cross_network_stamped_batch_is_400(self, http_server):
+        from repro.monitor.codec import BINARY_CONTENT_TYPE
+        status, body = post_with_type(
+            http_server, "/api/v1/networks/default/ingest",
+            self.binary_body(network_id="other-net"), BINARY_CONTENT_TYPE,
+        )
+        assert status == 400
+        assert "stamped for network" in body["error"]
+
+    def test_legacy_alias_stays_json_only(self, http_server):
+        # The pre-v1 alias never negotiates: a binary body is malformed JSON.
+        from repro.monitor.codec import BINARY_CONTENT_TYPE
+        status, body = post_with_type(
+            http_server, "/api/ingest", self.binary_body(), BINARY_CONTENT_TYPE,
+        )
+        assert status == 400 and not body["ok"]
+
+    def test_http_client_send_batch_binary(self, http_server):
+        from repro.monitor.uplink import HttpIngestClient
+
+        client = HttpIngestClient(http_server.url, codec="binary")
+        record = PacketRecord(
+            node=9, seq=0, timestamp=50.0, direction=Direction.IN,
+            src=2, dst=9, next_hop=9, prev_hop=2, ptype=3, packet_id=1,
+            size_bytes=40, rssi_dbm=-100.0, snr_db=5.0,
+        )
+        result = client.send_batch(
+            RecordBatch(node=9, batch_seq=0, sent_at=50.0, packet_records=(record,))
+        )
+        assert result.ok and client.posts_ok == 1
+        assert not client.legacy_mode
+        status, nodes = get(http_server, "/api/v1/networks/default/nodes")
+        assert [row["node"] for row in nodes] == [9]
