@@ -1,0 +1,548 @@
+"""Builder for the per-class concurrency model.
+
+Three ingredients, all from one parse of the file:
+
+**Lock contexts.**  Scanning a method keeps the set of ``self``-lock
+attributes lexically held at each point: ``with self._lock:`` holds the
+lock for its body; a bare ``self._lock.acquire()`` holds it for the
+following statements of the same block until a matching ``.release()``
+(or, in the canonical pattern, for a ``try``/``finally`` that releases
+in ``finally``).  The tracking is lexical — a lock taken by a caller is
+invisible, which is exactly what the ``# guarded-by:`` annotation and
+the suppression syntax are for.
+
+**Thread entry points.**  A method runs off the owner thread when it is
+the ``target=`` of a ``threading.Thread``, the ``run`` of a Thread
+subclass, a ``do_*`` handler on a ``BaseHTTPRequestHandler`` subclass
+(``ThreadingHTTPServer`` runs each request on its own thread), or a
+public callback of an ``IngestTransport`` implementation (transports
+are driven by their receive thread and by arbitrary server threads).
+Everything transitively ``self.``-called from an entry point is
+entry-reachable.
+
+**``# guarded-by:`` annotations.**  Written on the line that first
+assigns the attribute (``self._seen = set()  # guarded-by: _lock`` in
+``__init__``, or a dataclass field line), they declare the lock that
+protects the slot.  A bare name must be a lock attribute of the same
+class and is *verified* — every access must hold it.  A dotted name
+(``# guarded-by: MonitorServer._lock``) documents an **external** guard
+the per-file analysis cannot see; RL100 trusts it, so it must name a
+real discipline, reviewed like a suppression rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.analysis.model import (
+    MUTATE,
+    READ,
+    WRITE,
+    Access,
+    CallSite,
+    ClassModel,
+    FunctionNode,
+    MethodModel,
+    ThreadCreation,
+)
+from repro.lint.context import FileContext
+
+_GUARD_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_.]*)")
+
+#: Constructor names whose result is a lock-like synchronisation object.
+_LOCK_CONSTRUCTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Substrings that make ``with self.<x>:`` count as entering a lock even
+#: without seeing the constructor (e.g. the lock was injected).
+_LOCKISH_NAME = re.compile(r"lock|mutex|sem|cond", re.IGNORECASE)
+
+#: Method calls that mutate the receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "add",
+        "discard",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+        "put",
+        "put_nowait",
+    }
+)
+
+#: IngestTransport methods that are owner-driven lifecycle, not
+#: receive-path callbacks.
+_TRANSPORT_LIFECYCLE = frozenset({"start", "stop", "close", "stats_document"})
+
+
+def parse_guard_annotations(source: str) -> Dict[int, str]:
+    """``# guarded-by:`` comments by line (tokenize, so strings are safe)."""
+    guards: Dict[int, str] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return guards
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _GUARD_RE.search(token.string)
+        if match is not None:
+            guards[token.start[0]] = match.group(1)
+    return guards
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """``a.b.C`` -> ``"C"``; ``C`` -> ``"C"``; anything else -> None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    """The attribute name when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_thread_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and _terminal_name(node.func) == "Thread"
+
+
+def _build_parents(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+            stack.append(child)
+    return parents
+
+
+class _MethodScanner:
+    """Collects accesses (with lock contexts) and self-calls for one method."""
+
+    def __init__(
+        self,
+        method: MethodModel,
+        lock_attrs: Set[str],
+        method_names: Set[str],
+    ) -> None:
+        self.method = method
+        self.lock_attrs = lock_attrs
+        self.method_names = method_names
+
+    def scan(self) -> None:
+        self._scan_block(self.method.node.body, frozenset())
+
+    # -- statement walking ----------------------------------------------------
+
+    def _scan_block(self, stmts: Sequence[ast.stmt], held: FrozenSet[str]) -> None:
+        index = 0
+        while index < len(stmts):
+            stmt = stmts[index]
+            acquired = self._bare_sync_call(stmt, "acquire")
+            if acquired is not None:
+                self._collect(stmt, held)
+                follow = stmts[index + 1] if index + 1 < len(stmts) else None
+                if isinstance(follow, ast.Try) and self._finally_releases(
+                    follow, acquired
+                ):
+                    self._scan_stmt(follow, held | {acquired})
+                    index += 2
+                    continue
+                # Bare acquire (the RL102 shape): model the lock as held
+                # for the rest of this block, until a matching release.
+                inner = held | {acquired}
+                index += 1
+                while index < len(stmts):
+                    released = self._bare_sync_call(stmts[index], "release")
+                    self._scan_stmt(stmts[index], inner)
+                    index += 1
+                    if released == acquired:
+                        break
+                continue
+            self._scan_stmt(stmt, held)
+            index += 1
+
+    def _scan_stmt(self, stmt: ast.stmt, held: FrozenSet[str]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            entered = set(held)
+            for item in stmt.items:
+                self._collect(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self._collect(item.optional_vars, held)
+                lock = self._entered_lock(item.context_expr)
+                if lock is not None:
+                    entered.add(lock)
+            self._scan_block(stmt.body, frozenset(entered))
+        elif isinstance(stmt, ast.If):
+            self._collect(stmt.test, held)
+            self._scan_block(stmt.body, held)
+            self._scan_block(stmt.orelse, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._collect(stmt.target, held)
+            self._collect(stmt.iter, held)
+            self._scan_block(stmt.body, held)
+            self._scan_block(stmt.orelse, held)
+        elif isinstance(stmt, ast.While):
+            self._collect(stmt.test, held)
+            self._scan_block(stmt.body, held)
+            self._scan_block(stmt.orelse, held)
+        elif isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            self._scan_block(stmt.body, held)  # type: ignore[attr-defined]
+            for handler in stmt.handlers:  # type: ignore[attr-defined]
+                self._scan_block(handler.body, held)
+            self._scan_block(stmt.orelse, held)  # type: ignore[attr-defined]
+            self._scan_block(stmt.finalbody, held)  # type: ignore[attr-defined]
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested function runs later, on whatever thread calls it,
+            # without these locks — unless it shadows ``self``.
+            shadows = any(a.arg == "self" for a in stmt.args.args)
+            if not shadows:
+                self._scan_block(stmt.body, frozenset())
+        elif isinstance(stmt, ast.ClassDef):
+            pass  # a nested class has its own ``self``; modelled separately
+        else:
+            self._collect(stmt, held)
+
+    # -- lock bookkeeping -----------------------------------------------------
+
+    def _entered_lock(self, context_expr: ast.expr) -> Optional[str]:
+        attr = _is_self_attr(context_expr)
+        if attr is None:
+            return None
+        if attr in self.lock_attrs or _LOCKISH_NAME.search(attr):
+            return attr
+        return None
+
+    def _bare_sync_call(self, stmt: ast.stmt, op: str) -> Optional[str]:
+        """``self.<x>.acquire()`` / ``.release()`` as a whole statement."""
+        if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+            return None
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr == op:
+            return _is_self_attr(func.value)
+        return None
+
+    def _finally_releases(self, try_stmt: ast.Try, attr: str) -> bool:
+        for stmt in try_stmt.finalbody:
+            if self._bare_sync_call(stmt, "release") == attr:
+                return True
+        return False
+
+    # -- access collection ----------------------------------------------------
+
+    def _collect(self, root: ast.AST, held: FrozenSet[str]) -> None:
+        """Record every ``self.<attr>`` access in ``root``'s subtree."""
+        parents = _build_parents(root)
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                self._record_call(node, parents, held)
+            attr = _is_self_attr(node)
+            if attr is None:
+                continue
+            deferred = self._inside_deferred(node, parents)
+            classified = self._classify(node, parents)
+            if classified is None:
+                continue
+            kind = classified
+            self.method.accesses.append(
+                Access(
+                    attr=attr,
+                    kind=kind,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    method=self.method.name,
+                    locks=frozenset() if deferred else held,
+                    in_init=self.method.is_init,
+                )
+            )
+
+    def _record_call(
+        self,
+        node: ast.Call,
+        parents: Dict[ast.AST, ast.AST],
+        held: FrozenSet[str],
+    ) -> None:
+        name = _terminal_name(node.func)
+        if name is None:
+            return
+        receiver: Optional[str] = None
+        if isinstance(node.func, ast.Attribute):
+            receiver = _terminal_name(node.func.value)
+        deferred = self._inside_deferred(node, parents)
+        self.method.calls.append(
+            CallSite(
+                name=name,
+                receiver=receiver,
+                line=node.lineno,
+                col=node.col_offset,
+                method=self.method.name,
+                keywords=frozenset(
+                    kw.arg for kw in node.keywords if kw.arg is not None
+                ),
+                locks=frozenset() if deferred else held,
+            )
+        )
+
+    def _inside_deferred(
+        self, node: ast.AST, parents: Dict[ast.AST, ast.AST]
+    ) -> bool:
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(
+                current, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                return True
+            current = parents.get(current)
+        return False
+
+    def _classify(
+        self, node: ast.Attribute, parents: Dict[ast.AST, ast.AST]
+    ) -> Optional[str]:
+        name = node.attr
+        parent = parents.get(node)
+        if isinstance(parent, ast.Call) and parent.func is node:
+            if name in self.method_names:
+                self.method.self_calls.add(name)
+                return None  # a method call, not a data access
+            return READ  # calling a stored callable reads the slot
+        if name in self.method_names:
+            return None  # bare method reference (e.g. target=self._serve)
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            return WRITE
+        # Load context: look for write-through mutation patterns.
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            if isinstance(parent.ctx, (ast.Store, ast.Del)):
+                return MUTATE  # self.a.b = ... / del self.a.b
+            grand = parents.get(parent)
+            if (
+                isinstance(grand, ast.Call)
+                and grand.func is parent
+                and parent.attr in _MUTATOR_METHODS
+            ):
+                return MUTATE  # self.a.append(...)
+            return READ
+        if isinstance(parent, ast.Subscript) and parent.value is node:
+            if isinstance(parent.ctx, (ast.Store, ast.Del)):
+                return MUTATE  # self.a[k] = ... / del self.a[k]
+            return READ
+        return READ
+
+
+# -- class-level facts ---------------------------------------------------------
+
+
+def _find_lock_attrs(class_node: ast.ClassDef) -> Set[str]:
+    locks: Set[str] = set()
+    for node in ast.walk(class_node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and _terminal_name(value.func) in _LOCK_CONSTRUCTORS
+            ):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    attr = _is_self_attr(target)
+                    if attr is not None:
+                        locks.add(attr)
+                    elif isinstance(target, ast.Name):
+                        locks.add(target.id)  # class-body lock attribute
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+                attr = _is_self_attr(func.value)
+                if attr is not None:
+                    locks.add(attr)
+        elif isinstance(node, ast.withitem):
+            attr = _is_self_attr(node.context_expr)
+            if attr is not None and _LOCKISH_NAME.search(attr):
+                locks.add(attr)
+    return locks
+
+
+def _attach_guards(
+    model: ClassModel, annotations: Dict[int, str]
+) -> None:
+    """Bind ``# guarded-by:`` comments to the attributes they annotate."""
+    if not annotations:
+        return
+
+    def bind(target_attr: Optional[str], stmt: ast.stmt) -> None:
+        if target_attr is None:
+            return
+        end = getattr(stmt, "end_lineno", None) or stmt.lineno
+        for line in range(stmt.lineno, end + 1):
+            guard = annotations.get(line)
+            if guard is not None:
+                model.guards[target_attr] = guard
+                model.guard_lines[target_attr] = line
+                return
+
+    # Class-body fields (dataclass style): ``x: int = 0  # guarded-by: _lock``
+    for stmt in model.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            bind(stmt.target.id, stmt)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+            stmt.targets[0], ast.Name
+        ):
+            bind(stmt.targets[0].id, stmt)
+    # ``self.x = ...  # guarded-by: _lock`` in construction methods.
+    for method in model.methods.values():
+        if not method.is_init:
+            continue
+        for stmt in ast.walk(method.node):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    bind(_is_self_attr(target), stmt)
+            elif isinstance(stmt, ast.AnnAssign):
+                bind(_is_self_attr(stmt.target), stmt)
+
+
+def _find_thread_creations(model: ClassModel) -> None:
+    for method in model.methods.values():
+        parents = _build_parents(method.node)
+        joins: Set[str] = set()
+        for node in ast.walk(method.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                joins.add(node.func.value.id)
+        for node in ast.walk(method.node):
+            if not _is_thread_call(node):
+                continue
+            assert isinstance(node, ast.Call)
+            has_daemon = any(kw.arg == "daemon" for kw in node.keywords)
+            target_method: Optional[str] = None
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    attr = _is_self_attr(kw.value)
+                    if attr is not None and attr in model.methods:
+                        target_method = attr
+            stored_attr: Optional[str] = None
+            local_name: Optional[str] = None
+            parent = parents.get(node)
+            if isinstance(parent, ast.Assign):
+                for target in parent.targets:
+                    attr = _is_self_attr(target)
+                    if attr is not None:
+                        stored_attr = attr
+                    elif isinstance(target, ast.Name):
+                        local_name = target.id
+            model.thread_creations.append(
+                ThreadCreation(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    method=method.name,
+                    has_daemon_kw=has_daemon,
+                    stored_attr=stored_attr,
+                    target_method=target_method,
+                    local_name=local_name,
+                    joined_locally=local_name is not None and local_name in joins,
+                )
+            )
+
+
+def _find_entry_points(model: ClassModel) -> None:
+    bases = set(model.base_names)
+    if "Thread" in bases and "run" in model.methods:
+        model.direct_entry_points.add("run")
+    if any(base.endswith("HTTPRequestHandler") for base in bases):
+        for name in model.methods:
+            if name.startswith("do_"):
+                model.direct_entry_points.add(name)
+    if "IngestTransport" in bases:
+        # Transport callbacks: driven by the receive thread and by any
+        # server thread holding a reference — everything public that is
+        # not owner-driven lifecycle.
+        for name, method in model.methods.items():
+            if (
+                not name.startswith("_")
+                and name not in _TRANSPORT_LIFECYCLE
+                and not method.is_property
+            ):
+                model.direct_entry_points.add(name)
+    for creation in model.thread_creations:
+        if creation.target_method is not None:
+            model.direct_entry_points.add(creation.target_method)
+
+
+def _is_property(node: FunctionNode) -> bool:
+    for decorator in node.decorator_list:
+        name = _terminal_name(decorator)
+        if name in ("property", "cached_property", "setter", "getter", "deleter"):
+            return True
+    return False
+
+
+def build_class_models(context: FileContext) -> List[ClassModel]:
+    """One :class:`ClassModel` per class statement in ``context`` (nested
+    classes included), in source order."""
+    annotations = parse_guard_annotations(context.source)
+    models: List[ClassModel] = []
+    for class_node in ast.walk(context.tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        model = ClassModel(name=class_node.name, node=class_node)
+        for base in class_node.bases:
+            name = _terminal_name(base)
+            if name is not None:
+                model.base_names.append(name)
+        for stmt in class_node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                model.methods[stmt.name] = MethodModel(
+                    name=stmt.name, node=stmt, is_property=_is_property(stmt)
+                )
+        model.lock_attrs = _find_lock_attrs(class_node)
+        method_names = set(model.methods)
+        for method in model.methods.values():
+            _MethodScanner(method, model.lock_attrs, method_names).scan()
+        _attach_guards(model, annotations)
+        _find_thread_creations(model)
+        _find_entry_points(model)
+        models.append(model)
+    models.sort(key=lambda m: (m.node.lineno, m.node.col_offset))
+    return models
+
+
+def class_models(context: FileContext) -> List[ClassModel]:
+    """The (per-file cached) class models for ``context``.
+
+    Four rules share the analysis; building it once per file keeps the
+    lint run O(files), not O(files x rules).
+    """
+    cached = getattr(context, "_class_models", None)
+    if cached is None:
+        cached = build_class_models(context)
+        setattr(context, "_class_models", cached)
+    return cached

@@ -1,0 +1,207 @@
+"""Symbol-table data model for the concurrency analysis.
+
+One :class:`ClassModel` per ``class`` statement (nested classes
+included — the HTTP handler class defined inside a factory method gets
+its own model, with its own ``self``).  Each model records, per method,
+every access to a ``self.<attr>`` slot together with the set of locks
+lexically held at that point, plus the class-level facts the RL1xx
+rules reason over: which attributes are locks, which methods are thread
+entry points, which attributes carry ``# guarded-by:`` annotations, and
+where threads are created.
+
+The model is purely syntactic — built by
+:mod:`repro.lint.analysis.concurrency` from a single parse, no imports,
+no type inference.  That keeps reprolint dependency-free and fast, at
+the price of lexical blind spots the annotation syntax exists to cover.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Access kinds.  ``write`` rebinds the slot (``self.x = ...``,
+#: ``self.x += ...``, ``del self.x``); ``mutate`` changes the object the
+#: slot points at in place (``self.x.append(...)``, ``self.x[k] = v``,
+#: ``self.x.y = v``); ``read`` is everything else.
+READ = "read"
+WRITE = "write"
+MUTATE = "mutate"
+
+#: Methods that run during (single-threaded) construction; accesses in
+#: them are exempt from lock-discipline checks.
+INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__init_subclass__"})
+
+#: Lifecycle methods where RL103 expects owned threads to be joined.
+LIFECYCLE_METHODS = frozenset({"close", "stop", "shutdown", "__exit__", "__del__"})
+
+
+@dataclass(frozen=True)
+class Access:
+    """One read/write/mutation of ``self.<attr>`` inside a method."""
+
+    attr: str
+    kind: str  # READ | WRITE | MUTATE
+    line: int
+    col: int
+    method: str
+    #: Names of ``self``-attribute locks lexically held at this access
+    #: (from enclosing ``with self._lock:`` scopes or a preceding bare
+    #: ``self._lock.acquire()`` in the same block).
+    locks: FrozenSet[str]
+    #: True when the access happens in ``__init__``/``__post_init__``
+    #: (or a class-body default) — construction is single-threaded.
+    in_init: bool
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (WRITE, MUTATE)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One function/method call inside a method, with its lock context."""
+
+    #: Terminal name of the callee (``self._queue.get`` -> ``"get"``,
+    #: ``time.sleep`` -> ``"sleep"``, ``open`` -> ``"open"``).
+    name: str
+    #: Terminal name of the object the method is called on
+    #: (``self._queue.get`` -> ``"_queue"``, ``sock.recvfrom`` ->
+    #: ``"sock"``), or None for plain function calls / literal receivers.
+    receiver: Optional[str]
+    line: int
+    col: int
+    method: str
+    #: Keyword-argument names supplied at the call.
+    keywords: FrozenSet[str]
+    #: Locks lexically held at the call (same tracking as :class:`Access`).
+    locks: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class ThreadCreation:
+    """One ``threading.Thread(...)`` construction site."""
+
+    line: int
+    col: int
+    method: str
+    #: ``daemon=`` keyword present at the constructor call.
+    has_daemon_kw: bool
+    #: ``self.<attr>`` the thread object is assigned to (None for a
+    #: local / fire-and-forget thread).
+    stored_attr: Optional[str]
+    #: Method name passed as ``target=self.<m>`` (None when the target
+    #: is not a method of this class).
+    target_method: Optional[str]
+    #: Local variable the thread is bound to, when any.
+    local_name: Optional[str]
+    #: True when the creating scope calls ``<local>.join(...)`` itself.
+    joined_locally: bool
+
+
+@dataclass
+class MethodModel:
+    """Everything the analysis knows about one method."""
+
+    name: str
+    node: FunctionNode
+    accesses: List[Access] = field(default_factory=list)
+    #: Every call made by the method, with its lock context (RL101).
+    calls: List[CallSite] = field(default_factory=list)
+    #: Names of methods of the same class invoked as ``self.<m>(...)``.
+    self_calls: Set[str] = field(default_factory=set)
+    is_property: bool = False
+
+    @property
+    def is_init(self) -> bool:
+        return self.name in INIT_METHODS
+
+
+@dataclass
+class ClassModel:
+    """Per-class symbol table + concurrency facts."""
+
+    name: str
+    node: ast.ClassDef
+    #: Terminal names of the base classes (``http.server.BaseHTTPRequestHandler``
+    #: contributes ``"BaseHTTPRequestHandler"``).
+    base_names: List[str] = field(default_factory=list)
+    methods: Dict[str, MethodModel] = field(default_factory=dict)
+    #: Attributes that are locks: assigned ``threading.Lock()``/
+    #: ``RLock()``/``Condition()``/``Semaphore()``, or entered via
+    #: ``with self.<x>:`` under a lock-ish name, or ``.acquire()``d.
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: ``# guarded-by:`` annotations: attr -> declared guard.  A bare
+    #: name (``_lock``) names a lock attribute of this class and is
+    #: verified; a dotted name (``MonitorServer._lock``) documents an
+    #: *external* guard the per-file analysis cannot verify.
+    guards: Dict[str, str] = field(default_factory=dict)
+    #: attr -> line of its ``# guarded-by:`` annotation (diagnostics).
+    guard_lines: Dict[str, int] = field(default_factory=dict)
+    #: Methods that run on a foreign thread *directly*: targets of
+    #: ``threading.Thread(target=self.<m>)``, ``run`` on Thread
+    #: subclasses, ``do_*`` on BaseHTTPRequestHandler subclasses, and
+    #: ingest-transport callbacks.
+    direct_entry_points: Set[str] = field(default_factory=set)
+    #: Thread construction sites found anywhere in the class body.
+    thread_creations: List[ThreadCreation] = field(default_factory=list)
+
+    # -- derived ---------------------------------------------------------------
+
+    def entry_reachable(self) -> Set[str]:
+        """Entry points plus every method transitively ``self.``-called
+        from one — the set of methods that may run off-thread."""
+        reachable = set(self.direct_entry_points)
+        frontier = list(reachable)
+        while frontier:
+            method = self.methods.get(frontier.pop())
+            if method is None:
+                continue
+            for callee in method.self_calls:
+                if callee in self.methods and callee not in reachable:
+                    reachable.add(callee)
+                    frontier.append(callee)
+        return reachable
+
+    def accesses_by_attr(self) -> Dict[str, List[Access]]:
+        """All accesses grouped per attribute, in source order."""
+        grouped: Dict[str, List[Access]] = {}
+        for method in self.methods.values():
+            for access in method.accesses:
+                grouped.setdefault(access.attr, []).append(access)
+        for accesses in grouped.values():
+            accesses.sort(key=lambda a: (a.line, a.col))
+        return grouped
+
+    def shared_written_attrs(self) -> Set[str]:
+        """Attributes written or mutated outside construction (and that
+        are not locks themselves) — the candidates for RL100."""
+        shared: Set[str] = set()
+        for method in self.methods.values():
+            if method.is_init:
+                continue
+            for access in method.accesses:
+                if access.is_write and access.attr not in self.lock_attrs:
+                    shared.add(access.attr)
+        return shared
+
+    def lifecycle_joins_threads(self) -> bool:
+        """True when any lifecycle method contains a ``.join(...)`` call
+        (loose on purpose: joining a local snapshot of ``self._thread``
+        taken under a lock is the *recommended* shutdown pattern)."""
+        for name in LIFECYCLE_METHODS:
+            method = self.methods.get(name)
+            if method is None:
+                continue
+            for node in ast.walk(method.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join"
+                    and isinstance(node.func.value, (ast.Name, ast.Attribute))
+                ):
+                    return True
+        return False

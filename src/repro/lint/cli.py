@@ -25,8 +25,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based determinism & resource-safety linter for the repro "
-            "tree (rules RL001-RL007; see docs/STATIC_ANALYSIS.md)"
+            "AST-based determinism, resource-safety & concurrency linter "
+            "for the repro tree (rules RL001-RL007 and the RL100-RL103 "
+            "concurrency pack; see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(
@@ -58,12 +59,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE_ID",
+        help="print a rule's rationale plus a bad/good example and exit",
+    )
     return parser
+
+
+def explain_rule(rule_id: str) -> int:
+    """Print why ``rule_id`` exists and what good/bad code looks like."""
+    registry = default_registry()
+    matches = [r for r in registry.all_rules() if r.rule_id == rule_id]
+    if not matches:
+        print(
+            f"repro-lint: error: unknown rule id {rule_id!r}; "
+            f"known: {', '.join(sorted(registry.ids))}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    rule = matches[0]
+    print(f"{rule.rule_id} — {rule.title}")
+    rationale = getattr(rule, "rationale", None)
+    if rationale is None:
+        # Pre-RL1xx rules keep their rationale in the module docstring.
+        module = sys.modules.get(type(rule).__module__)
+        rationale = (module.__doc__ or "").strip() if module else ""
+    print()
+    print(rationale.strip())
+    example_bad = getattr(rule, "example_bad", None)
+    if example_bad:
+        print()
+        print("Bad:")
+        for line in example_bad.rstrip().splitlines():
+            print(f"    {line}")
+    example_good = getattr(rule, "example_good", None)
+    if example_good:
+        print()
+        print("Good:")
+        for line in example_good.rstrip().splitlines():
+            print(f"    {line}")
+    return EXIT_CLEAN
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     registry = default_registry()
+    if args.explain:
+        return explain_rule(args.explain.strip())
     if args.list_rules:
         for rule in registry.all_rules():
             print(f"{rule.rule_id}  {rule.title}")

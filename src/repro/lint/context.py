@@ -42,6 +42,26 @@ CAMPAIGN_SIM_MODULES: Tuple[str, ...] = ("worker",)
 #: and the ``repro-trace`` CLI are operator-side I/O and stay exempt.
 OBS_SIM_MODULES: Tuple[str, ...] = ("recorder", "spans")
 
+#: modules of ``repro.monitor`` whose classes are documented as shared
+#: across threads (see docs/ARCHITECTURE.md, "Threading model"): the
+#: server object and everything hanging off it is touched by HTTP
+#: handler threads, the UDP receiver thread and the owner thread alike.
+#: Classes in these modules fall under RL100 lock discipline even when
+#: the file itself spawns no thread — the threads live elsewhere
+#: (``ThreadingHTTPServer``) but the mutations happen here.  Modules
+#: *not* listed (``uplink``, ``fleet``, ``alerts``, ``dashboard``,
+#: ``store``...) are owner-thread or per-request constructs;
+#: ``transport.http``/``transport.mpfront`` are covered by the
+#: entry-point trigger instead (they subclass ``IngestTransport``).
+MONITOR_SHARED_MODULES: Tuple[str, ...] = (
+    "server",
+    "registry",
+    "ingest",
+    "httpapi",
+    "transport.base",
+    "transport.udp",
+)
+
 
 def module_name_for(path: Path) -> Optional[str]:
     """Dotted module name for ``path``, or None for a loose script.
@@ -119,3 +139,18 @@ class FileContext:
             parts = (self.module or "").split(".")
             return len(parts) > 2 and parts[2] in OBS_SIM_MODULES
         return False
+
+    @property
+    def is_thread_shared_scope(self) -> bool:
+        """Inside a monitor module documented as shared across threads.
+
+        RL100 normally needs *evidence* of threading in the class itself
+        (an entry point, a lock, a ``# guarded-by:``).  For the modules
+        listed in :data:`MONITOR_SHARED_MODULES` the threads are created
+        by the standard library (``ThreadingHTTPServer``) or by sibling
+        modules, so the discipline applies to every class regardless.
+        """
+        if self.repro_subpackage != "monitor":
+            return False
+        parts = (self.module or "").split(".")
+        return ".".join(parts[2:]) in MONITOR_SHARED_MODULES

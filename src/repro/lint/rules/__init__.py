@@ -6,21 +6,29 @@ rule; each module's docstring carries the rule's rationale.
 """
 
 from repro.lint.rules import (  # noqa: F401  - imported for registration
+    bare_acquire,
+    blocking_under_lock,
     facade,
     floatcmp,
     lifecycle,
     mutable_defaults,
     print_calls,
     rng,
+    shared_state,
+    thread_lifecycle,
     wallclock,
 )
 
 __all__ = [
+    "bare_acquire",
+    "blocking_under_lock",
     "facade",
     "floatcmp",
     "lifecycle",
     "mutable_defaults",
     "print_calls",
     "rng",
+    "shared_state",
+    "thread_lifecycle",
     "wallclock",
 ]

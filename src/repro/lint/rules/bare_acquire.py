@@ -1,0 +1,146 @@
+"""RL102 — ``.acquire()`` must be paired with ``try``/``finally``.
+
+A bare ``lock.acquire()`` followed by straight-line code leaks the lock
+on the first exception between acquire and release: every thread that
+touches the lock afterwards blocks forever, which in a monitoring
+server means ingest silently stops.  ``with lock:`` is the idiom;
+``acquire()`` immediately followed by ``try: ... finally: release()``
+is accepted for the rare case that needs conditional acquisition or a
+timeout.
+
+Accepted shapes::
+
+    with self._lock: ...                    # preferred
+
+    self._lock.acquire()
+    try:
+        ...
+    finally:
+        self._lock.release()                # canonical manual pairing
+
+    self._lock.acquire(timeout=...)         # anywhere inside a try whose
+    try: ... finally: self._lock.release()  # finalbody releases the same
+                                            # receiver
+
+Anything else — acquire with no try/finally on the same receiver —
+is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set
+
+from repro.lint.context import FileContext
+from repro.lint.registry import register
+from repro.lint.violation import Violation
+
+
+def _receiver_of(call: ast.Call, op: str) -> str:
+    """Source text of ``X`` in ``X.<op>()``, or '' when not that shape."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == op:
+        try:
+            return ast.unparse(func.value)
+        except Exception:  # pragma: no cover - unparse is total on valid ASTs
+            return ""
+    return ""
+
+
+def _released_in_finally(try_stmt: ast.Try, receiver: str) -> bool:
+    for stmt in try_stmt.finalbody:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and _receiver_of(node, "release") == receiver:
+                return True
+    return False
+
+
+def _stmt_blocks(tree: ast.AST):
+    for node in ast.walk(tree):
+        for _field, value in ast.iter_fields(node):
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                yield value
+
+
+@register
+class BareAcquireRule:
+    rule_id = "RL102"
+    title = "bare .acquire() without try/finally pairing"
+
+    rationale = (
+        "lock.acquire() not paired with try/finally leaks the lock on the\n"
+        "first exception raised before release() — after which every thread\n"
+        "that needs the lock blocks forever and ingest silently stops.\n"
+        "Use 'with lock:' (it pairs acquire/release on all paths), or when\n"
+        "conditional/timeout acquisition is genuinely needed, follow the\n"
+        "acquire immediately with try: ... finally: lock.release()."
+    )
+    example_bad = (
+        "self._lock.acquire()\n"
+        "self._count += 1   # raises? the lock is never released\n"
+        "self._lock.release()\n"
+    )
+    example_good = (
+        "with self._lock:\n"
+        "    self._count += 1\n"
+        "\n"
+        "# or, when acquire(timeout=...) is required:\n"
+        "self._lock.acquire()\n"
+        "try:\n"
+        "    self._count += 1\n"
+        "finally:\n"
+        "    self._lock.release()\n"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if context.is_test_code:
+            return
+        acquires: List[ast.Call] = [
+            node
+            for node in ast.walk(context.tree)
+            if isinstance(node, ast.Call) and _receiver_of(node, "acquire")
+        ]
+        if not acquires:
+            return
+        safe: Set[int] = set()
+        # Shape 1: acquire anywhere inside a try whose finalbody releases
+        # the same receiver.
+        for try_stmt in ast.walk(context.tree):
+            if not isinstance(try_stmt, ast.Try):
+                continue
+            for stmt in try_stmt.body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call):
+                        receiver = _receiver_of(node, "acquire")
+                        if receiver and _released_in_finally(try_stmt, receiver):
+                            safe.add(id(node))
+        # Shape 2: acquire as a statement immediately followed by such a try.
+        for block in _stmt_blocks(context.tree):
+            for index, stmt in enumerate(block):
+                if not isinstance(stmt, ast.Expr) or not isinstance(
+                    stmt.value, ast.Call
+                ):
+                    continue
+                receiver = _receiver_of(stmt.value, "acquire")
+                if not receiver:
+                    continue
+                follow = block[index + 1] if index + 1 < len(block) else None
+                if isinstance(follow, ast.Try) and _released_in_finally(
+                    follow, receiver
+                ):
+                    safe.add(id(stmt.value))
+        for call in acquires:
+            if id(call) in safe:
+                continue
+            receiver = _receiver_of(call, "acquire")
+            yield Violation(
+                path=str(context.path),
+                line=call.lineno,
+                col=call.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"bare {receiver}.acquire() without try/finally pairing; "
+                    f"use 'with {receiver}:' or follow the acquire with "
+                    f"try: ... finally: {receiver}.release()"
+                ),
+            )

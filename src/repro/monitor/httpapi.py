@@ -105,14 +105,16 @@ class MonitoringHttpServer:
         """
         self.monitor_server = monitor_server
         self.dashboard = dashboard
-        self._dashboards: Dict[str, Dashboard] = {DEFAULT_NETWORK_ID: dashboard}
+        self._lock = threading.Lock()
+        #: Lazily built per-network dashboards; raced by handler threads.
+        self._dashboards: Dict[str, Dashboard] = {DEFAULT_NETWORK_ID: dashboard}  # guarded-by: _lock
         if clock is None:
             start = time.monotonic()
             clock = lambda: time.monotonic() - start  # noqa: E731 - tiny closure
         self._clock = clock
         handler = self._make_handler()
         self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._thread: Optional[threading.Thread] = None
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _lock
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -125,41 +127,77 @@ class MonitoringHttpServer:
         return f"http://{host}:{port}"
 
     def start(self) -> None:
-        """Serve requests on a daemon thread until :meth:`stop`."""
-        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
-        self._thread.start()
+        """Serve requests on a daemon thread until :meth:`stop` (idempotent)."""
+        with self._lock:
+            if self._thread is not None:
+                return  # already serving
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, daemon=True
+            )
+            self._thread.start()
 
     def stop(self) -> None:
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        """Shut the serve thread down and release the socket.
+
+        Idempotent, and safe *before* :meth:`start`: ``shutdown()`` is
+        only called when a serve thread actually exists — calling it
+        with no ``serve_forever`` running blocks forever on an event
+        that is never set.  The join runs outside the lock (the serve
+        thread never takes it, but keeping joins out of critical
+        sections is the house rule — RL101).
+        """
+        with self._lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5.0)
+        self._httpd.server_close()  # idempotent; safe to repeat
+
+    def close(self) -> None:
+        """Alias for :meth:`stop` (context-manager / RL103 shape)."""
+        self.stop()
+
+    def __enter__(self) -> "MonitoringHttpServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.stop()
 
     def dashboard_for(self, network_id: str) -> Optional[Dashboard]:
         """The (lazily built) dashboard of one network, None if unknown.
 
         The ``default`` network always resolves to the injected
         dashboard; other networks get a view over their shard's store
-        the first time they are asked for.
+        the first time they are asked for.  Handler threads race here,
+        so the cache is double-checked under the lock: the store lookup
+        (which takes the server lock) stays outside, and the winner of a
+        build race is whoever publishes last — both views wrap the same
+        store, so either is correct.
         """
         if network_id == DEFAULT_NETWORK_ID:
             return self.dashboard
         store = self.monitor_server.store_for(network_id)
         if store is None:
-            self._dashboards.pop(network_id, None)
+            with self._lock:
+                self._dashboards.pop(network_id, None)
             return None
-        cached = self._dashboards.get(network_id)
-        if cached is not None and cached.store is store:
-            return cached
+        with self._lock:
+            cached = self._dashboards.get(network_id)
+            if cached is not None and cached.store is store:
+                return cached
         dashboard = Dashboard(
             store,
             report_interval_s=self.dashboard.report_interval_s,
             monitor_server=self.monitor_server,
             network_id=network_id,
         )
-        self._dashboards[network_id] = dashboard
-        return dashboard
+        with self._lock:
+            current = self._dashboards.get(network_id)
+            if current is not None and current.store is store:
+                return current  # lost the build race; use the winner
+            self._dashboards[network_id] = dashboard
+            return dashboard
 
     def _make_handler(self) -> type:
         api = self

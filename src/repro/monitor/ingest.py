@@ -102,10 +102,12 @@ class ServerSelfMetrics:
     #: while the global queue still had room (noisy-neighbour control).
     quota_rejections: int = 0
     queue_high_water: int = 0
-    store_flushes: int = 0
-    flush_latency_last_s: float = 0.0
-    flush_latency_max_s: float = 0.0
-    flush_latency_total_s: float = 0.0
+    # The metrics object is owned by one MonitorServer, which serialises
+    # every mutation (note_flush included) under its ingest lock.
+    store_flushes: int = 0  # guarded-by: MonitorServer._lock
+    flush_latency_last_s: float = 0.0  # guarded-by: MonitorServer._lock
+    flush_latency_max_s: float = 0.0  # guarded-by: MonitorServer._lock
+    flush_latency_total_s: float = 0.0  # guarded-by: MonitorServer._lock
 
     def note_flush(self, latency_s: float) -> None:
         self.store_flushes += 1
@@ -146,9 +148,11 @@ class SeqWindow:
     """
 
     def __init__(self, capacity: int = 65536) -> None:
+        # Windows live inside a NetworkShard; the server's ingest lock
+        # serialises check_and_add with every other shard mutation.
         self._capacity = capacity
-        self._seen: Set[int] = set()
-        self._low_water = -1
+        self._seen: Set[int] = set()  # guarded-by: MonitorServer._lock
+        self._low_water = -1  # guarded-by: MonitorServer._lock
 
     def check_and_add(self, seq: int) -> bool:
         """Record ``seq``; return True when it is new."""

@@ -23,6 +23,7 @@ Scaling knobs
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional
 
@@ -92,44 +93,58 @@ class NetworkRegistry:
             else (lambda network_id: MetricsStore())  # reprolint: allow[RL006] -- the registry owns shard stores; close() flushes and closes every one
         )
         self._max_networks = max_networks
+        # Reentrant: get_or_create() -> get() and -> _evict_one() nest.
+        self._lock = threading.RLock()
         #: Insertion/access-ordered: the first entry is the LRU candidate.
-        self._shards: "OrderedDict[str, NetworkShard]" = OrderedDict()
-        self.evictions = 0
+        #: Mutated from every handler thread (lazy creation + LRU
+        #: move_to_end on reads), hence the lock.
+        self._shards: "OrderedDict[str, NetworkShard]" = OrderedDict()  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     # -- lookup ---------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._shards)
+        with self._lock:
+            return len(self._shards)
 
     def __contains__(self, network_id: str) -> bool:
-        return network_id in self._shards
+        with self._lock:
+            return network_id in self._shards
 
     def __iter__(self) -> Iterator[NetworkShard]:
-        return iter(list(self._shards.values()))
+        with self._lock:
+            return iter(list(self._shards.values()))
 
     def network_ids(self) -> List[str]:
         """Resident network ids, sorted for stable output."""
-        return sorted(self._shards)
+        with self._lock:
+            return sorted(self._shards)
 
     def get(self, network_id: str) -> Optional[NetworkShard]:
         """The shard for ``network_id`` if resident (marks it active)."""
-        shard = self._shards.get(network_id)
-        if shard is not None:
-            self._shards.move_to_end(network_id)
-        return shard
+        with self._lock:
+            shard = self._shards.get(network_id)
+            if shard is not None:
+                self._shards.move_to_end(network_id)
+            return shard
 
     def get_or_create(self, network_id: str) -> NetworkShard:
-        """The shard for ``network_id``, creating (and evicting) as needed."""
-        shard = self.get(network_id)
-        if shard is not None:
+        """The shard for ``network_id``, creating (and evicting) as needed.
+
+        Atomic under the registry lock: two threads racing on the first
+        batch from a network get the *same* shard, not two stores.
+        """
+        with self._lock:
+            shard = self.get(network_id)
+            if shard is not None:
+                return shard
+            if self._max_networks is not None:
+                while len(self._shards) >= self._max_networks:
+                    if not self._evict_one():
+                        break  # every shard busy; let the fleet grow past the bound
+            shard = NetworkShard(network_id, self._store_factory(network_id))
+            self._shards[network_id] = shard
             return shard
-        if self._max_networks is not None:
-            while len(self._shards) >= self._max_networks:
-                if not self._evict_one():
-                    break  # every shard busy; let the fleet grow past the bound
-        shard = NetworkShard(network_id, self._store_factory(network_id))
-        self._shards[network_id] = shard
-        return shard
 
     def adopt(self, network_id: str, store: MetricsStore) -> NetworkShard:
         """Register a shard around an externally constructed store.
@@ -137,23 +152,25 @@ class NetworkRegistry:
         Used for the ``default`` network when a caller injects its own
         store into the server (the historical single-network API).
         """
-        if network_id in self._shards:
-            raise ConfigurationError(f"network {network_id!r} already registered")
-        shard = NetworkShard(network_id, store)
-        self._shards[network_id] = shard
-        return shard
+        with self._lock:
+            if network_id in self._shards:
+                raise ConfigurationError(f"network {network_id!r} already registered")
+            shard = NetworkShard(network_id, store)
+            self._shards[network_id] = shard
+            return shard
 
     # -- eviction -------------------------------------------------------------
 
     def _evict_one(self) -> bool:
         """Evict the least-recently-active idle shard; False if none is idle."""
-        for network_id, shard in self._shards.items():
-            if shard.queued_batches == 0:
-                self._close_shard(shard)
-                del self._shards[network_id]
-                self.evictions += 1
-                return True
-        return False
+        with self._lock:
+            for network_id, shard in self._shards.items():
+                if shard.queued_batches == 0:
+                    self._close_shard(shard)
+                    del self._shards[network_id]
+                    self.evictions += 1
+                    return True
+            return False
 
     @staticmethod
     def _close_shard(shard: NetworkShard) -> None:
@@ -166,7 +183,9 @@ class NetworkRegistry:
 
     def close(self) -> None:
         """Flush and close every shard's store (idempotent)."""
-        for shard in self._shards.values():
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
             self._close_shard(shard)
 
     # -- convenience ----------------------------------------------------------

@@ -57,6 +57,7 @@ the dashboard's ``[server]`` panel.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 import warnings
 from collections import deque
@@ -169,15 +170,18 @@ class MonitorServer:
         if store is not None:
             self.registry.adopt(DEFAULT_NETWORK_ID, store)
         self._clock = clock or (lambda: 0.0)
-        self.stats = _ServerStats()
-        self.self_metrics = _ServerSelfMetrics()
+        # Reentrant: flush() -> _sync_flush_stats() both take it, and the
+        # admission helpers are callable with the lock already held.
+        self._lock = threading.RLock()
+        self.stats = _ServerStats()  # guarded-by: _lock
+        self.self_metrics = _ServerSelfMetrics()  # guarded-by: _lock
         self.queue_capacity = queue_capacity
         self.backpressure = backpressure
         self.autodrain = autodrain
         self.retry_after_s = retry_after_s
         self.network_queue_quota = network_queue_quota
-        self._queue: Deque[RecordBatch] = deque()
-        self._transports: List[IngestTransport] = []
+        self._queue: Deque[RecordBatch] = deque()  # guarded-by: _lock
+        self._transports: List[IngestTransport] = []  # guarded-by: _lock
 
     # -- tenancy --------------------------------------------------------------
 
@@ -204,7 +208,8 @@ class MonitorServer:
     @property
     def queue_depth(self) -> int:
         """Batches admitted but not yet processed."""
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
 
     def queue_depth_for(self, network_id: str) -> int:
         """Queued batches belonging to ``network_id``."""
@@ -221,17 +226,22 @@ class MonitorServer:
                 unstamped batch is stamped with it, a batch stamped with
                 a *different* network is refused.
         """
-        self.stats.bytes_received += len(raw)
+        with self._lock:
+            self.stats.bytes_received += len(raw)
         try:
+            # Decode outside the lock: parsing is pure CPU work on
+            # thread-local bytes.
             batch = RecordBatch.from_json_bytes(raw)
         except DecodeError as exc:
-            self.stats.batches_rejected += 1
-            self.self_metrics.decode_failures += 1
+            with self._lock:
+                self.stats.batches_rejected += 1
+                self.self_metrics.decode_failures += 1
             return _IngestResult(ok=False, error=str(exc))
         if network_id is not None:
             if batch.network_id not in (DEFAULT_NETWORK_ID, network_id):
-                self.stats.batches_rejected += 1
-                self.self_metrics.decode_failures += 1
+                with self._lock:
+                    self.stats.batches_rejected += 1
+                    self.self_metrics.decode_failures += 1
                 return _IngestResult(
                     ok=False,
                     error=(
@@ -250,12 +260,14 @@ class MonitorServer:
         id; the bridge that decodes it knows which network its gateway
         belongs to and passes ``network_id`` here.
         """
-        self.stats.bytes_received += len(raw)
+        with self._lock:
+            self.stats.bytes_received += len(raw)
         try:
             batch = RecordBatch.from_binary(raw)
         except DecodeError as exc:
-            self.stats.batches_rejected += 1
-            self.self_metrics.decode_failures += 1
+            with self._lock:
+                self.stats.batches_rejected += 1
+                self.self_metrics.decode_failures += 1
             return _IngestResult(ok=False, error=str(exc))
         if network_id is not None and batch.network_id != network_id:
             batch = dataclasses.replace(batch, network_id=network_id)
@@ -280,17 +292,20 @@ class MonitorServer:
         resolved = resolve_codec(codec)
         if resolved.name == "json":
             return self.ingest_json(raw, network_id=network_id)
-        self.stats.bytes_received += len(raw)
+        with self._lock:
+            self.stats.bytes_received += len(raw)
         try:
             batch = resolved.decode(raw)
         except DecodeError as exc:
-            self.stats.batches_rejected += 1
-            self.self_metrics.decode_failures += 1
+            with self._lock:
+                self.stats.batches_rejected += 1
+                self.self_metrics.decode_failures += 1
             return _IngestResult(ok=False, error=str(exc))
         if network_id is not None:
             if batch.network_id not in (DEFAULT_NETWORK_ID, network_id):
-                self.stats.batches_rejected += 1
-                self.self_metrics.decode_failures += 1
+                with self._lock:
+                    self.stats.batches_rejected += 1
+                    self.self_metrics.decode_failures += 1
                 return _IngestResult(
                     ok=False,
                     error=(
@@ -314,141 +329,179 @@ class MonitorServer:
         The server does not start the transport (the serve CLI owns the
         lifecycle) but :meth:`close` stops every attached one.
         """
-        self._transports.append(transport)
+        with self._lock:
+            self._transports.append(transport)
         return transport
 
     @property
     def transports(self) -> List["IngestTransport"]:
         """The attached transports (read-only view)."""
-        return list(self._transports)
+        with self._lock:
+            return list(self._transports)
+
+    def note_datagram_batch(self, network_id: str) -> None:
+        """Count one datagram-delivered batch against ``network_id``.
+
+        Transports must not reach into shard counters themselves — shard
+        bookkeeping is guarded by the server lock.
+        """
+        with self._lock:
+            shard = self.registry.get(network_id)
+            if shard is not None:
+                shard.datagram_batches += 1
 
     def submit(self, batch: RecordBatch) -> IngestResult:
-        """Admit ``batch`` through the bounded queue, then maybe process it."""
-        shard = self.registry.get_or_create(batch.network_id)
-        if self.queue_capacity is not None and len(self._queue) >= self.queue_capacity:
-            if self.backpressure is _BackpressurePolicy.DROP_OLDEST:
-                evicted = self._queue.popleft()
-                self._uncount_queued(evicted)
-                self.self_metrics.batches_dropped += 1
-            else:
-                self.stats.batches_rejected += 1
-                self.self_metrics.batches_rejected += 1
-                return _IngestResult(
-                    ok=False,
-                    error="ingest queue full",
-                    retry_after_s=self.retry_after_s,
-                )
-        elif (
-            self.network_queue_quota is not None
-            and shard.queued_batches >= self.network_queue_quota
-        ):
-            # The global queue has room but this network used up its
-            # share: apply the policy to this network only.
-            if self.backpressure is _BackpressurePolicy.DROP_OLDEST:
-                self._drop_oldest_of(batch.network_id)
-                self.self_metrics.batches_dropped += 1
-            else:
-                self.stats.batches_rejected += 1
-                self.self_metrics.batches_rejected += 1
-                self.self_metrics.quota_rejections += 1
-                return _IngestResult(
-                    ok=False,
-                    error=f"ingest queue quota exhausted for network {batch.network_id!r}",
-                    retry_after_s=self.retry_after_s,
-                )
-        self._queue.append(batch)
-        shard.queued_batches += 1
-        depth = len(self._queue)
-        if depth > self.self_metrics.queue_high_water:
-            self.self_metrics.queue_high_water = depth
+        """Admit ``batch`` through the bounded queue, then maybe process it.
+
+        Admission (queue bound, quota, enqueue) happens atomically under
+        the server lock; processing happens in :meth:`drain`, which
+        re-locks per batch.  Under concurrent submitters an autodrain
+        call may find its batch already processed by a sibling thread's
+        drain — the returned result then reports the admission, not the
+        (equivalent) processing outcome.
+        """
+        with self._lock:
+            shard = self.registry.get_or_create(batch.network_id)
+            if (
+                self.queue_capacity is not None
+                and len(self._queue) >= self.queue_capacity
+            ):
+                if self.backpressure is _BackpressurePolicy.DROP_OLDEST:
+                    evicted = self._queue.popleft()
+                    self._uncount_queued(evicted)
+                    self.self_metrics.batches_dropped += 1
+                else:
+                    self.stats.batches_rejected += 1
+                    self.self_metrics.batches_rejected += 1
+                    return _IngestResult(
+                        ok=False,
+                        error="ingest queue full",
+                        retry_after_s=self.retry_after_s,
+                    )
+            elif (
+                self.network_queue_quota is not None
+                and shard.queued_batches >= self.network_queue_quota
+            ):
+                # The global queue has room but this network used up its
+                # share: apply the policy to this network only.
+                if self.backpressure is _BackpressurePolicy.DROP_OLDEST:
+                    self._drop_oldest_of(batch.network_id)
+                    self.self_metrics.batches_dropped += 1
+                else:
+                    self.stats.batches_rejected += 1
+                    self.self_metrics.batches_rejected += 1
+                    self.self_metrics.quota_rejections += 1
+                    return _IngestResult(
+                        ok=False,
+                        error=f"ingest queue quota exhausted for network {batch.network_id!r}",
+                        retry_after_s=self.retry_after_s,
+                    )
+            self._queue.append(batch)
+            shard.queued_batches += 1
+            depth = len(self._queue)
+            if depth > self.self_metrics.queue_high_water:
+                self.self_metrics.queue_high_water = depth
         if self.autodrain:
-            return self.drain()[-1]
+            results = self.drain()
+            if results:
+                return results[-1]
         return _IngestResult(ok=True, queued=True)
 
     def _uncount_queued(self, batch: RecordBatch) -> None:
+        """Caller holds ``self._lock``."""
         shard = self.registry.get(batch.network_id)
         if shard is not None and shard.queued_batches > 0:
             shard.queued_batches -= 1
 
     def _drop_oldest_of(self, network_id: str) -> None:
         """Evict the oldest queued batch belonging to ``network_id``."""
-        for index, queued in enumerate(self._queue):
-            if queued.network_id == network_id:
-                del self._queue[index]
-                self._uncount_queued(queued)
-                return
+        with self._lock:
+            for index, queued in enumerate(self._queue):
+                if queued.network_id == network_id:
+                    del self._queue[index]
+                    self._uncount_queued(queued)
+                    return
 
     def drain(self, max_batches: Optional[int] = None) -> List[IngestResult]:
         """Process up to ``max_batches`` queued batches (all by default)."""
         results: List[IngestResult] = []
-        while self._queue and (max_batches is None or len(results) < max_batches):
-            batch = self._queue.popleft()
-            self._uncount_queued(batch)
+        while True:
+            with self._lock:
+                if not self._queue:
+                    break
+                if max_batches is not None and len(results) >= max_batches:
+                    break
+                batch = self._queue.popleft()
+                self._uncount_queued(batch)
             results.append(self._ingest(batch))
         return results
 
     # -- processing ----------------------------------------------------------
 
     def _ingest(self, batch: RecordBatch) -> IngestResult:
-        shard = self.registry.get_or_create(batch.network_id)
-        packet_window = shard.packet_windows.setdefault(batch.node, SeqWindow())
-        status_window = shard.status_windows.setdefault(batch.node, SeqWindow())
-        accepted_packets = []
-        accepted_status = []
-        duplicates = 0
-        for record in batch.packet_records:
-            if record.node != batch.node:
-                # A client may only report its own observations.
-                self.self_metrics.foreign_records_rejected += 1
-                continue
-            if packet_window.check_and_add(record.seq):
-                accepted_packets.append(record)
-            else:
-                duplicates += 1
-        for record in batch.status_records:
-            if record.node != batch.node:
-                self.self_metrics.foreign_records_rejected += 1
-                continue
-            if status_window.check_and_add(record.seq):
-                accepted_status.append(record)
-            else:
-                duplicates += 1
-        store = shard.store
-        if accepted_packets:
-            add_packets = getattr(store, "add_packet_records", None)
-            if add_packets is not None:
-                add_packets(accepted_packets)
-            else:  # stores predating the batch API
-                for record in accepted_packets:
-                    store.add_packet_record(record)
-        if accepted_status:
-            add_status = getattr(store, "add_status_records", None)
-            if add_status is not None:
-                add_status(accepted_status)
-            else:
-                for record in accepted_status:
-                    store.add_status_record(record)
-        now = self._clock()
-        store.note_batch(batch.node, now, batch.dropped_records)
+        with self._lock:
+            shard = self.registry.get_or_create(batch.network_id)
+            packet_window = shard.packet_windows.setdefault(batch.node, SeqWindow())
+            status_window = shard.status_windows.setdefault(batch.node, SeqWindow())
+            accepted_packets = []
+            accepted_status = []
+            duplicates = 0
+            for record in batch.packet_records:
+                if record.node != batch.node:
+                    # A client may only report its own observations.
+                    self.self_metrics.foreign_records_rejected += 1
+                    continue
+                if packet_window.check_and_add(record.seq):
+                    accepted_packets.append(record)
+                else:
+                    duplicates += 1
+            for record in batch.status_records:
+                if record.node != batch.node:
+                    self.self_metrics.foreign_records_rejected += 1
+                    continue
+                if status_window.check_and_add(record.seq):
+                    accepted_status.append(record)
+                else:
+                    duplicates += 1
+            store = shard.store
+            if accepted_packets:
+                add_packets = getattr(store, "add_packet_records", None)
+                if add_packets is not None:
+                    add_packets(accepted_packets)
+                else:  # stores predating the batch API
+                    for record in accepted_packets:
+                        store.add_packet_record(record)
+            if accepted_status:
+                add_status = getattr(store, "add_status_records", None)
+                if add_status is not None:
+                    add_status(accepted_status)
+                else:
+                    for record in accepted_status:
+                        store.add_status_record(record)
+            now = self._clock()
+            store.note_batch(batch.node, now, batch.dropped_records)
+            accepted = len(accepted_packets) + len(accepted_status)
+            self.stats.batches_ok += 1
+            self.stats.records_accepted += accepted
+            self.stats.duplicates += duplicates
+            self.self_metrics.batches_ingested += 1
+            self.self_metrics.packet_records_ingested += len(accepted_packets)
+            self.self_metrics.status_records_ingested += len(accepted_status)
+            self.self_metrics.dedup_hits += duplicates
+            shard.batches_ingested += 1
+            shard.records_ingested += accepted
+            shard.dedup_hits += duplicates
+            shard.last_batch_at = now
+            result = _IngestResult(
+                ok=True,
+                accepted_packets=len(accepted_packets),
+                accepted_status=len(accepted_status),
+                duplicates=duplicates,
+            )
+        # The store flush can hit sqlite; keep it outside the critical
+        # section (RL101) — stores serialise their own writes.
         self._flush_store(store)
-        accepted = len(accepted_packets) + len(accepted_status)
-        self.stats.batches_ok += 1
-        self.stats.records_accepted += accepted
-        self.stats.duplicates += duplicates
-        self.self_metrics.batches_ingested += 1
-        self.self_metrics.packet_records_ingested += len(accepted_packets)
-        self.self_metrics.status_records_ingested += len(accepted_status)
-        self.self_metrics.dedup_hits += duplicates
-        shard.batches_ingested += 1
-        shard.records_ingested += accepted
-        shard.dedup_hits += duplicates
-        shard.last_batch_at = now
-        return _IngestResult(
-            ok=True,
-            accepted_packets=len(accepted_packets),
-            accepted_status=len(accepted_status),
-            duplicates=duplicates,
-        )
+        return result
 
     def _flush_store(self, store: MetricsStore) -> None:
         """Let a durable store decide whether a flush is due."""
@@ -488,10 +541,11 @@ class MonitorServer:
             total += stats.total_latency_s
         if not seen:
             return
-        self.self_metrics.store_flushes = flushes
-        self.self_metrics.flush_latency_last_s = last
-        self.self_metrics.flush_latency_max_s = worst
-        self.self_metrics.flush_latency_total_s = total
+        with self._lock:
+            self.self_metrics.store_flushes = flushes
+            self.self_metrics.flush_latency_last_s = last
+            self.self_metrics.flush_latency_max_s = worst
+            self.self_metrics.flush_latency_total_s = total
 
     def flush(self) -> None:
         """Force any buffered store writes out (shutdown, test barriers)."""
@@ -504,7 +558,8 @@ class MonitorServer:
             if getattr(shard.store, "flush_stats", None) is not None:
                 self._sync_flush_stats()
             elif flushed:
-                self.self_metrics.note_flush(time.perf_counter() - started)
+                with self._lock:
+                    self.self_metrics.note_flush(time.perf_counter() - started)
 
     def close(self) -> None:
         """Orderly shutdown: drain queued batches, flush, close every shard.
@@ -513,7 +568,12 @@ class MonitorServer:
         closes them; store closes are idempotent, so an injected store
         may safely be closed again by its creator.
         """
-        for transport in self._transports:
+        with self._lock:
+            transports = list(self._transports)
+        # Stop transports *outside* the lock: a receiver thread may be
+        # blocked in submit() waiting for it, and stop() joins that
+        # thread (RL101's deadlock shape).
+        for transport in transports:
             transport.stop()
         self.drain()
         self.flush()
@@ -529,23 +589,26 @@ class MonitorServer:
 
     def self_metrics_document(self) -> Dict[str, Any]:
         """The ``GET /api/v1/server`` body: self-metrics + queue + wire stats."""
-        document = self.self_metrics.to_json_dict()
-        document.update(
-            {
-                "queue_depth": self.queue_depth,
-                "queue_capacity": self.queue_capacity,
-                "backpressure": self.backpressure.value,
-                "autodrain": self.autodrain,
-                "bytes_received": self.stats.bytes_received,
-                "networks": len(self.registry),
-                "network_queue_quota": self.network_queue_quota,
-                "network_evictions": self.registry.evictions,
-                "transports": {
-                    transport.name: transport.stats_document()
-                    for transport in self._transports
-                },
-            }
-        )
+        with self._lock:
+            document = self.self_metrics.to_json_dict()
+            transports = list(self._transports)
+            document.update(
+                {
+                    "queue_depth": len(self._queue),
+                    "queue_capacity": self.queue_capacity,
+                    "backpressure": self.backpressure.value,
+                    "autodrain": self.autodrain,
+                    "bytes_received": self.stats.bytes_received,
+                    "networks": len(self.registry),
+                    "network_queue_quota": self.network_queue_quota,
+                    "network_evictions": self.registry.evictions,
+                }
+            )
+        # Transports lock themselves; collecting their documents outside
+        # the server lock keeps the lock order server-independent.
+        document["transports"] = {
+            transport.name: transport.stats_document() for transport in transports
+        }
         store_stats = getattr(self.store, "flush_stats", None)
         if store_stats is not None:
             document["store"] = {
@@ -558,9 +621,10 @@ class MonitorServer:
 
     def network_document(self, network_id: str) -> Optional[Dict[str, Any]]:
         """Per-network ingest counters, or None for an unknown network."""
-        shard = self.registry.get(network_id)
-        if shard is None:
-            return None
-        document = shard.to_json_dict()
-        document["queued_batches"] = shard.queued_batches
-        return document
+        with self._lock:
+            shard = self.registry.get(network_id)
+            if shard is None:
+                return None
+            document = shard.to_json_dict()
+            document["queued_batches"] = shard.queued_batches
+            return document

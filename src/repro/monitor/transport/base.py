@@ -14,6 +14,7 @@ under ``transports``, so an operator can tell "the mesh is quiet" from
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Any, Dict, Set, Tuple
@@ -64,14 +65,17 @@ class SequenceGapTracker:
     """
 
     def __init__(self) -> None:
-        self.received = 0
-        self.gap_events = 0
-        self.lost = 0
-        self.duplicates = 0
-        self.reordered = 0
-        self.restarts = 0
-        self._highest: int = -1
-        self._missing: Set[int] = set()
+        # A tracker belongs to exactly one accountant, which serialises
+        # every note() under its own lock — per-tracker locks would only
+        # add overhead on the datagram fast path.
+        self.received = 0  # guarded-by: TelemetryGapAccountant._lock
+        self.gap_events = 0  # guarded-by: TelemetryGapAccountant._lock
+        self.lost = 0  # guarded-by: TelemetryGapAccountant._lock
+        self.duplicates = 0  # guarded-by: TelemetryGapAccountant._lock
+        self.reordered = 0  # guarded-by: TelemetryGapAccountant._lock
+        self.restarts = 0  # guarded-by: TelemetryGapAccountant._lock
+        self._highest: int = -1  # guarded-by: TelemetryGapAccountant._lock
+        self._missing: Set[int] = set()  # guarded-by: TelemetryGapAccountant._lock
 
     def note(self, seq: int) -> str:
         """Account one arrival; returns the classification."""
@@ -127,53 +131,67 @@ class TelemetryGapAccountant:
 
     def __init__(self, max_streams: int = 4096) -> None:
         self._max_streams = max_streams
-        self._trackers: "OrderedDict[Tuple[str, int], SequenceGapTracker]" = OrderedDict()
-        self.evicted_streams = 0
+        # Reentrant: note() -> tracker() nests.  One accountant may be
+        # shared by several transports (UDP + mpfront), so the LRU dict
+        # and every tracker's counters are mutated from many threads.
+        self._lock = threading.RLock()
+        self._trackers: "OrderedDict[Tuple[str, int], SequenceGapTracker]" = OrderedDict()  # guarded-by: _lock
+        self.evicted_streams = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
-        return len(self._trackers)
+        with self._lock:
+            return len(self._trackers)
 
     def tracker(self, network_id: str, node: int) -> SequenceGapTracker:
         """The (lazily created) tracker for one stream."""
-        key = (network_id, node)
-        tracker = self._trackers.get(key)
-        if tracker is not None:
-            self._trackers.move_to_end(key)
+        with self._lock:
+            key = (network_id, node)
+            tracker = self._trackers.get(key)
+            if tracker is not None:
+                self._trackers.move_to_end(key)
+                return tracker
+            while len(self._trackers) >= self._max_streams:
+                self._trackers.popitem(last=False)
+                self.evicted_streams += 1
+            tracker = SequenceGapTracker()
+            self._trackers[key] = tracker
             return tracker
-        while len(self._trackers) >= self._max_streams:
-            self._trackers.popitem(last=False)
-            self.evicted_streams += 1
-        tracker = SequenceGapTracker()
-        self._trackers[key] = tracker
-        return tracker
 
     def note(self, network_id: str, node: int, seq: int) -> str:
-        """Account one batch arrival on one stream."""
-        return self.tracker(network_id, node).note(seq)
+        """Account one batch arrival on one stream.
+
+        The whole lookup + classification runs under the accountant
+        lock: tracker state transitions (gap bookkeeping, restart
+        resets) are multi-step and must not interleave.
+        """
+        with self._lock:
+            return self.tracker(network_id, node).note(seq)
 
     def total(self, counter: str) -> int:
         """Sum of one counter over every stream."""
-        return sum(getattr(tracker, counter) for tracker in self._trackers.values())
+        with self._lock:
+            return sum(getattr(tracker, counter) for tracker in self._trackers.values())
 
     def to_json_dict(self, per_stream_limit: int = 20) -> Dict[str, Any]:
         """Aggregate totals plus the worst (highest-loss) streams."""
-        worst = sorted(
-            self._trackers.items(),
-            key=lambda item: (item[1].lost, item[1].duplicates),
-            reverse=True,
-        )[:per_stream_limit]
-        return {
-            "streams": len(self._trackers),
-            "evicted_streams": self.evicted_streams,
-            "received": self.total("received"),
-            "gap_events": self.total("gap_events"),
-            "lost": self.total("lost"),
-            "duplicates": self.total("duplicates"),
-            "reordered": self.total("reordered"),
-            "restarts": self.total("restarts"),
-            "worst_streams": {
-                f"{network_id}/{node}": tracker.to_json_dict()
-                for (network_id, node), tracker in worst
-                if tracker.lost or tracker.duplicates or tracker.restarts
-            },
-        }
+        with self._lock:
+            worst = sorted(
+                self._trackers.items(),
+                key=lambda item: (item[1].lost, item[1].duplicates),
+                reverse=True,
+            )[:per_stream_limit]
+            return {
+                "streams": len(self._trackers),
+                "evicted_streams": self.evicted_streams,
+                "received": self.total("received"),
+                "gap_events": self.total("gap_events"),
+                "lost": self.total("lost"),
+                "duplicates": self.total("duplicates"),
+                "reordered": self.total("reordered"),
+                "restarts": self.total("restarts"),
+                "worst_streams": {
+                    f"{network_id}/{node}": tracker.to_json_dict()
+                    for (network_id, node), tracker in worst
+                    if tracker.lost or tracker.duplicates or tracker.restarts
+                },
+            }

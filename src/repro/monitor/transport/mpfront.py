@@ -7,7 +7,7 @@ off the hot path: worker *processes* parse incoming wire bytes and
 re-encode them in the compact binary telemetry format, and the parent
 merely binary-decodes (cheap, fixed-offset ``struct`` reads) and
 submits into the :class:`~repro.monitor.server.MonitorServer`, which
-stays single-writer — dedup windows and stores need no locks.
+serialises shard mutations under its own ingest lock.
 
 The process boundary uses the binary codec rather than pickle both for
 speed and because it keeps the wire format honest: whatever crosses is
@@ -21,6 +21,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import threading
 from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import DecodeError
@@ -75,41 +76,51 @@ class MultiProcessIngestFront(IngestTransport):
         self.workers = workers if workers is not None else max(1, (os.cpu_count() or 2) - 1)
         self._codec = resolve_codec(codec)
         self._binary = resolve_codec("binary")
-        self._processes: List[multiprocessing.Process] = []
-        self._in_queue: Optional["multiprocessing.Queue[bytes]"] = None
-        self._out_queue: Optional["multiprocessing.Queue[Any]"] = None
-        self._pending = 0
-        self.batches_submitted = 0
-        self.batches_ingested = 0
-        self.decode_failures = 0
+        # submit_encoded()/collect()/flush() are transport callbacks any
+        # thread may drive; queue handles and counters are shared state.
+        self._lock = threading.Lock()
+        self._processes: List[multiprocessing.Process] = []  # guarded-by: _lock
+        self._in_queue: Optional["multiprocessing.Queue[bytes]"] = None  # guarded-by: _lock
+        self._out_queue: Optional["multiprocessing.Queue[Any]"] = None  # guarded-by: _lock
+        self._pending = 0  # guarded-by: _lock
+        self.batches_submitted = 0  # guarded-by: _lock
+        self.batches_ingested = 0  # guarded-by: _lock
+        self.decode_failures = 0  # guarded-by: _lock
 
     def start(self) -> None:
-        """Spawn the worker processes."""
-        if self._processes:
-            return
-        self._in_queue = multiprocessing.Queue()
-        self._out_queue = multiprocessing.Queue()
-        for _ in range(self.workers):
-            process = multiprocessing.Process(
-                target=_decode_worker,
-                args=(self._in_queue, self._out_queue, self._codec.name),
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
+        """Spawn the worker processes (idempotent)."""
+        with self._lock:
+            if self._processes:
+                return
+            self._in_queue = multiprocessing.Queue()
+            self._out_queue = multiprocessing.Queue()
+            for _ in range(self.workers):
+                process = multiprocessing.Process(
+                    target=_decode_worker,
+                    args=(self._in_queue, self._out_queue, self._codec.name),
+                    daemon=True,
+                )
+                process.start()
+                self._processes.append(process)
 
     def submit_encoded(self, raw: bytes) -> None:
         """Hand one encoded batch to the decode pool (non-blocking)."""
-        if self._in_queue is None:
+        with self._lock:
+            in_queue = self._in_queue
+        if in_queue is None:
             raise RuntimeError("MultiProcessIngestFront is not started")
-        self._in_queue.put(raw)
-        self._pending += 1
-        self.batches_submitted += 1
+        # The queue put (which may block on a full pipe) stays outside
+        # the lock; multiprocessing queues are thread-safe themselves.
+        in_queue.put(raw)
+        with self._lock:
+            self._pending += 1
+            self.batches_submitted += 1
 
     @property
     def pending(self) -> int:
         """Batches handed to the pool whose results were not collected yet."""
-        return self._pending
+        with self._lock:
+            return self._pending
 
     def collect(self, timeout_s: Optional[float] = None) -> List[IngestResult]:
         """Ingest every decoded batch currently available.
@@ -118,32 +129,45 @@ class MultiProcessIngestFront(IngestTransport):
         what is already there), then drains without blocking.
         """
         results: List[IngestResult] = []
-        out = self._out_queue
+        with self._lock:
+            out = self._out_queue
         if out is None:
             return results
         block = timeout_s is not None and timeout_s > 0
-        while self._pending:
+        while True:
+            with self._lock:
+                if not self._pending:
+                    break
             try:
+                # Blocking get outside the lock (RL101): a worker needs
+                # milliseconds to decode; serialising other collectors
+                # behind that wait would defeat the pool.
                 ok, payload = out.get(block=block, timeout=timeout_s if block else None)
             except queue_mod.Empty:
                 break
             block = False  # only the first get waits
-            self._pending -= 1
+            with self._lock:
+                self._pending -= 1
+                if not ok:
+                    self.decode_failures += 1
             if not ok:
-                self.decode_failures += 1
                 results.append(IngestResult(ok=False, error=payload))
                 continue
             batch = self._binary.decode(payload)
             result = self._server.submit(batch)
             if result.ok:
-                self.batches_ingested += 1
+                with self._lock:
+                    self.batches_ingested += 1
             results.append(result)
         return results
 
     def flush(self, timeout_s: float = 30.0) -> List[IngestResult]:
         """Collect until nothing is pending (or ``timeout_s`` elapses)."""
         results: List[IngestResult] = []
-        while self._pending:
+        while True:
+            with self._lock:
+                if not self._pending:
+                    break
             got = self.collect(timeout_s=timeout_s)
             if not got:
                 break
@@ -151,33 +175,43 @@ class MultiProcessIngestFront(IngestTransport):
         return results
 
     def stop(self) -> None:
-        """Flush outstanding work, then terminate the workers (idempotent)."""
-        if not self._processes:
-            return
+        """Flush outstanding work, then terminate the workers (idempotent).
+
+        The sentinel puts and the joins run outside the lock: a worker
+        draining the in-queue, or a concurrent collect(), must not find
+        the lock held by a stop() that is itself waiting on them.
+        """
+        with self._lock:
+            if not self._processes:
+                return
         self.flush()
-        assert self._in_queue is not None
-        for _ in self._processes:
-            self._in_queue.put(_STOP)
-        for process in self._processes:
+        with self._lock:
+            processes, self._processes = self._processes, []
+            in_queue, self._in_queue = self._in_queue, None
+            out_queue, self._out_queue = self._out_queue, None
+            self._pending = 0
+        if in_queue is None:
+            return  # a concurrent stop() got here first
+        for _ in processes:
+            in_queue.put(_STOP)
+        for process in processes:
             process.join(timeout=5.0)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
-        self._processes = []
-        self._in_queue.close()
-        if self._out_queue is not None:
-            self._out_queue.close()
-        self._in_queue = None
-        self._out_queue = None
+        in_queue.close()
+        if out_queue is not None:
+            out_queue.close()
 
     def stats_document(self) -> Dict[str, Any]:
-        return {
-            "transport": self.name,
-            "codec": self._codec.name,
-            "workers": self.workers,
-            "running": bool(self._processes),
-            "batches_submitted": self.batches_submitted,
-            "batches_ingested": self.batches_ingested,
-            "decode_failures": self.decode_failures,
-            "pending": self._pending,
-        }
+        with self._lock:
+            return {
+                "transport": self.name,
+                "codec": self._codec.name,
+                "workers": self.workers,
+                "running": bool(self._processes),
+                "batches_submitted": self.batches_submitted,
+                "batches_ingested": self.batches_ingested,
+                "decode_failures": self.decode_failures,
+                "pending": self._pending,
+            }

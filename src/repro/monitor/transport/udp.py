@@ -61,22 +61,24 @@ class UdpIngestTransport(IngestTransport):
         self._codec = resolve_codec(codec)
         self._recv_buffer_bytes = recv_buffer_bytes
         self.accountant = accountant if accountant is not None else TelemetryGapAccountant()
-        self._socket: Optional[socket.socket] = None
-        self._thread: Optional[threading.Thread] = None
-        self._running = False
         self._lock = threading.Lock()
-        self.datagrams_received = 0
-        self.bytes_received = 0
-        self.malformed_datagrams = 0
-        self.batches_submitted = 0
-        self.batches_refused = 0
+        self._socket: Optional[socket.socket] = None  # guarded-by: _lock
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _lock
+        self._running = False  # guarded-by: _lock
+        self.datagrams_received = 0  # guarded-by: _lock
+        self.bytes_received = 0  # guarded-by: _lock
+        self.malformed_datagrams = 0  # guarded-by: _lock
+        self.batches_submitted = 0  # guarded-by: _lock
+        self.batches_refused = 0  # guarded-by: _lock
 
     @property
     def address(self) -> Tuple[str, int]:
         """(host, port) actually bound (after :meth:`start`)."""
-        if self._socket is None:
+        with self._lock:
+            sock = self._socket
+        if sock is None:
             return self._requested_address
-        bound = self._socket.getsockname()
+        bound = sock.getsockname()
         return bound[0], bound[1]
 
     @property
@@ -84,39 +86,83 @@ class UdpIngestTransport(IngestTransport):
         return self.address[1]
 
     def start(self) -> None:
-        """Bind the socket and start the receive thread."""
-        if self._running:
-            return
+        """Bind the socket and start the receive thread (idempotent)."""
         sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         try:
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, self._recv_buffer_bytes)
         except OSError:
             pass  # the kernel caps SO_RCVBUF; the default still works
-        sock.bind(self._requested_address)
-        self._socket = sock
-        self._running = True
-        self._thread = threading.Thread(
-            target=self._serve, name="udp-ingest", daemon=True
-        )
-        self._thread.start()
+        with self._lock:
+            if self._running:
+                sock.close()  # racing second start(): first one won
+                return
+            sock.bind(self._requested_address)
+            self._socket = sock
+            self._running = True
+            self._thread = threading.Thread(
+                target=self._serve, args=(sock,), name="udp-ingest", daemon=True
+            )
+            self._thread.start()
 
     def stop(self) -> None:
-        """Close the socket and join the receive thread (idempotent)."""
-        self._running = False
-        if self._socket is not None:
-            self._socket.close()
-            self._socket = None
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
+        """Close the socket and join the receive thread.
 
-    def _serve(self) -> None:
-        sock = self._socket
-        while self._running and sock is not None:
+        Safe to call twice (and before :meth:`start`): the first caller
+        swaps the socket and thread out under the lock, so a concurrent
+        or repeated stop() finds nothing to do.  The join happens
+        *outside* the lock — the receiver thread takes it in
+        :meth:`handle_datagram`, so joining under it would deadlock
+        (RL101).
+
+        Raises:
+            RuntimeError: when the receiver thread fails to exit within
+                the timeout — a stuck shutdown should fail loudly, not
+                leak a thread holding a bound port.
+        """
+        with self._lock:
+            self._running = False
+            sock, self._socket = self._socket, None
+            thread, self._thread = self._thread, None
+        if sock is not None and thread is not None:
+            # Closing a socket does NOT reliably interrupt a recvfrom
+            # already blocked in the kernel; a zero-byte datagram to
+            # ourselves does, and the receive loop re-checks the stop
+            # flag before handling it.
+            self._wake(sock)
+        if thread is not None:
+            thread.join(timeout=2.0)
+            if thread.is_alive() and sock is not None:
+                sock.close()  # second interrupt attempt: recvfrom -> OSError
+                thread.join(timeout=3.0)
+        if sock is not None:
+            sock.close()  # idempotent
+        if thread is not None and thread.is_alive():
+            raise RuntimeError(
+                "udp-ingest receiver thread did not exit within 5s of stop()"
+            )
+
+    @staticmethod
+    def _wake(sock: socket.socket) -> None:
+        """Nudge a receiver blocked in recvfrom on ``sock``."""
+        try:
+            host, port = sock.getsockname()[:2]
+            if host in ("0.0.0.0", "::"):
+                host = "127.0.0.1"
+            with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as probe:
+                probe.sendto(b"", (host, port))
+        except OSError:
+            pass  # stop() falls back to closing the socket
+
+    def _serve(self, sock: socket.socket) -> None:
+        # Lock-free peek at the stop flag: a stale True costs one extra
+        # recvfrom that stop()'s socket close interrupts anyway.
+        while self._running:  # reprolint: allow[RL100] -- GIL-atomic bool read; stop() also closes the socket, which breaks recvfrom
             try:
                 raw, _ = sock.recvfrom(MAX_DATAGRAM_BYTES)
             except OSError:
                 break  # stop() closed the socket under us
+            if not self._running:  # reprolint: allow[RL100] -- GIL-atomic bool read; the wake datagram from stop() must not be counted as traffic
+                break
             self.handle_datagram(raw)
 
     def handle_datagram(self, raw: bytes) -> bool:
@@ -126,37 +172,44 @@ class UdpIngestTransport(IngestTransport):
         the multi-process front can drive the same accounting without a
         network round trip.
         """
-        self.datagrams_received += 1
-        self.bytes_received += len(raw)
+        with self._lock:
+            self.datagrams_received += 1
+            self.bytes_received += len(raw)
         try:
+            # Decode outside the lock: pure CPU work on a private buffer.
             batch = self._codec.decode(raw)
         except DecodeError:
-            self.malformed_datagrams += 1
+            with self._lock:
+                self.malformed_datagrams += 1
             return False
         self.accountant.note(batch.network_id, batch.node, batch.batch_seq)
-        with self._lock:
-            result = self._server.submit(batch)
-            if result.ok:
-                shard = self._server.registry.get(batch.network_id)
-                if shard is not None:
-                    shard.datagram_batches += 1
+        # Submit WITHOUT holding the transport lock: the server takes its
+        # own lock, and holding ours across the call would establish a
+        # udp -> server lock order that deadlocks against the server's
+        # server -> udp order in stats collection.
+        result = self._server.submit(batch)
         if not result.ok:
             # Backpressure refusal: UDP has no reply channel, so the
             # refusal is visible here and in the server self-metrics.
-            self.batches_refused += 1
+            with self._lock:
+                self.batches_refused += 1
             return False
-        self.batches_submitted += 1
+        self._server.note_datagram_batch(batch.network_id)
+        with self._lock:
+            self.batches_submitted += 1
         return True
 
     def stats_document(self) -> Dict[str, Any]:
-        return {
-            "transport": self.name,
-            "codec": self._codec.name,
-            "port": self.port,
-            "datagrams_received": self.datagrams_received,
-            "bytes_received": self.bytes_received,
-            "malformed_datagrams": self.malformed_datagrams,
-            "batches_submitted": self.batches_submitted,
-            "batches_refused": self.batches_refused,
-            "sequence": self.accountant.to_json_dict(),
-        }
+        port = self.port
+        with self._lock:
+            return {
+                "transport": self.name,
+                "codec": self._codec.name,
+                "port": port,
+                "datagrams_received": self.datagrams_received,
+                "bytes_received": self.bytes_received,
+                "malformed_datagrams": self.malformed_datagrams,
+                "batches_submitted": self.batches_submitted,
+                "batches_refused": self.batches_refused,
+                "sequence": self.accountant.to_json_dict(),
+            }

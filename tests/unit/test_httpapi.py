@@ -311,3 +311,44 @@ class TestCodecNegotiationOverHttp:
         assert not client.legacy_mode
         status, nodes = get(http_server, "/api/v1/networks/default/nodes")
         assert [row["node"] for row in nodes] == [9]
+
+
+class TestServerLifecycle:
+    def make(self):
+        store = MetricsStore()
+        monitor_server = MonitorServer(store=store, clock=lambda: 100.0)
+        dashboard = Dashboard(store, report_interval_s=60.0)
+        return MonitoringHttpServer(monitor_server, dashboard, port=0)
+
+    def test_stop_before_start_is_safe(self):
+        # shutdown() with no serve_forever() running blocks forever on
+        # an event that is never set; stop() must not reach it.
+        server = self.make()
+        server.stop()
+        server.stop()
+
+    def test_close_before_start_is_safe(self):
+        server = self.make()
+        server.close()
+
+    def test_stop_is_idempotent_after_start(self):
+        server = self.make()
+        server.start()
+        server.stop()
+        server.stop()
+        server.close()
+
+    def test_start_is_idempotent(self):
+        server = self.make()
+        server.start()
+        url = server.url
+        server.start()  # second start(): the first serve thread keeps the port
+        assert server.url == url
+        server.stop()
+
+    def test_context_manager_serves_and_stops(self):
+        with self.make() as server:
+            status, _ = get(server, "/api/summary")
+            assert status == 200
+        # The serve thread is joined on __exit__.
+        assert server._thread is None

@@ -318,3 +318,35 @@ class TestHttpIngestTransport:
         doc = transport.stats_document()
         assert doc["transport"] == "http"
         assert doc["running"] is False
+
+
+class TestUdpLifecycle:
+    def test_stop_before_start_is_safe(self):
+        transport = UdpIngestTransport(MonitorServer())
+        transport.stop()
+        transport.stop()
+
+    def test_stop_joins_receiver_thread(self):
+        # The receiver may be blocked in recvfrom; stop() must wake it
+        # (self-datagram, then socket close) and join it within the
+        # timeout — a leaked thread would keep the port bound.
+        transport = UdpIngestTransport(MonitorServer())
+        transport.start()
+        thread = transport._thread
+        assert thread is not None and thread.is_alive()
+        transport.stop()
+        assert not thread.is_alive()
+        assert transport._thread is None and transport._socket is None
+
+    def test_restart_after_stop(self):
+        server = MonitorServer()
+        transport = UdpIngestTransport(server)
+        transport.start()
+        transport.stop()
+        transport.start()
+        try:
+            with UdpIngestClient(port=transport.port) as client:
+                client.send_batch(batch(batch_seq=0, packets=[packet_record()]))
+            assert wait_until(lambda: transport.batches_submitted == 1)
+        finally:
+            transport.stop()
