@@ -25,6 +25,9 @@ The facade is organised by layer:
 * **Monitoring** — client (:class:`MonitorClient`), uplinks, the
   multi-tenant :class:`MonitorServer` + :class:`NetworkRegistry`, stores,
   dashboard, HTTP server and the v1 API schema.
+* **Streaming** — the push pipeline: :class:`StreamHub` + subscriptions,
+  the ``repro.stream/1`` event schema, the :class:`SseStreamClient`
+  consumer and the :class:`IncrementalRollup` feeding it.
 * **Observability** — :class:`FlightRecorder`, :class:`SpanProfiler`,
   trace export/replay.
 """
@@ -37,8 +40,8 @@ from repro.campaign.scheduler import CampaignPlan, CampaignRunner
 from repro.campaign.spec import CampaignSpec, RunSpec
 from repro.errors import ReproError
 from repro.mesh import BROADCAST, MeshConfig, MeshNode, Packet, PacketType
-from repro.monitor.alerts import Alert, AlertEngine
-from repro.monitor.client import MonitorClient, MonitorClientConfig
+from repro.monitor.alerts import Alert, AlertEngine, NodeDelta
+from repro.monitor.client import MonitorClient, MonitorClientConfig, SseStreamClient
 from repro.monitor.codec import (
     BinaryCodec,
     Codec,
@@ -57,8 +60,17 @@ from repro.monitor.ingest import (
 )
 from repro.monitor.records import Direction, PacketRecord, RecordBatch, StatusRecord
 from repro.monitor.registry import NetworkRegistry, NetworkShard
+from repro.monitor.rollup import IncrementalRollup
 from repro.monitor.routes import schema_document
 from repro.monitor.server import MonitorServer
+from repro.monitor.stream import (
+    STREAM_SCHEMA,
+    StreamEvent,
+    StreamHub,
+    StreamSubscription,
+    decode_event,
+    encode_event,
+)
 from repro.monitor.sqlitestore import SqliteMetricsStore, sqlite_store_factory
 from repro.monitor.storage import MetricsStore
 from repro.monitor.transport import (
@@ -169,8 +181,18 @@ __all__ = [
     "Dashboard",
     "Alert",
     "AlertEngine",
+    "NodeDelta",
     "MonitoringHttpServer",
     "schema_document",
+    # monitoring: push pipeline
+    "STREAM_SCHEMA",
+    "StreamEvent",
+    "encode_event",
+    "decode_event",
+    "StreamHub",
+    "StreamSubscription",
+    "SseStreamClient",
+    "IncrementalRollup",
     # observability
     "FlightRecorder",
     "SpanProfiler",

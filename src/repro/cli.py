@@ -130,6 +130,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
         udp_transport.start()
     print(f"dashboard at {http_server.url}  (Ctrl-C to stop)")
+    print(
+        f"live stream (SSE) at {http_server.url}/api/v1/stream (fleet) "
+        f"and {http_server.url}/api/v1/networks/<id>/stream (per network)"
+    )
     if udp_transport is not None:
         print(
             f"udp ingest on port {udp_transport.port} "

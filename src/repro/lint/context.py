@@ -58,6 +58,7 @@ MONITOR_SHARED_MODULES: Tuple[str, ...] = (
     "registry",
     "ingest",
     "httpapi",
+    "stream.hub",
     "transport.base",
     "transport.udp",
 )

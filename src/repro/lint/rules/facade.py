@@ -97,8 +97,17 @@ _FACADE_NAMES: FrozenSet[str] = frozenset(
         "Dashboard",
         "Alert",
         "AlertEngine",
+        "NodeDelta",
         "MonitoringHttpServer",
         "schema_document",
+        "STREAM_SCHEMA",
+        "StreamEvent",
+        "encode_event",
+        "decode_event",
+        "StreamHub",
+        "StreamSubscription",
+        "SseStreamClient",
+        "IncrementalRollup",
         "FlightRecorder",
         "SpanProfiler",
         "export_trace",

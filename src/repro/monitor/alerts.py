@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.monitor import metrics
 from repro.monitor.storage import MetricsStore
@@ -32,6 +33,33 @@ class Alert:
     message: str
     raised_at: float
 
+    def to_json_dict(self) -> Dict[str, object]:
+        """The alert as the JSON object the API and the stream share."""
+        return {
+            "rule": self.rule,
+            "node": self.node,
+            "severity": self.severity,
+            "message": self.message,
+            "raised_at": self.raised_at,
+        }
+
+
+@dataclass(frozen=True)
+class NodeDelta:
+    """Latest in-memory state of one node, for the O(delta) alert path.
+
+    Built by the ingest pipeline from the aggregates it already
+    maintains (no store reads); fields the server does not know yet are
+    None, and rules that need a None field answer "cannot judge" rather
+    than clearing.
+    """
+
+    node: int
+    last_seen: Optional[float] = None
+    battery_v: Optional[float] = None
+    duty_utilisation: Optional[float] = None
+    queue_depth: Optional[int] = None
+
 
 class AlertRule(ABC):
     """A condition evaluated against the store."""
@@ -43,6 +71,22 @@ class AlertRule(ABC):
     @abstractmethod
     def conditions(self, store: MetricsStore, now: float) -> List[Tuple[Optional[int], str]]:
         """Return (node, message) for every currently firing condition."""
+
+    def node_conditions(self, delta: "NodeDelta", now: float) -> Optional[List[str]]:
+        """Firing messages for one node's delta, or None if not judgeable.
+
+        The O(delta) path: when a batch arrives the engine re-evaluates
+        only the rules that can judge one node from the in-memory
+        :class:`NodeDelta` snapshot the ingest pipeline hands over — no
+        store reads at all, so the path never blocks on a durable store.
+        Return None when this rule cannot judge from the delta (the
+        condition is cross-node or windowed, like PDR over a traffic
+        window, or the delta lacks the field): the rule then stays on
+        the periodic :meth:`AlertEngine.evaluate` sweep and existing
+        alert state is left untouched.  Return ``[]`` for judged-and-not
+        -firing (clears an active alert).
+        """
+        return None
 
 
 class SilentNodeRule(AlertRule):
@@ -64,6 +108,17 @@ class SilentNodeRule(AlertRule):
             if silence > self.max_silence_s:
                 firing.append((node, f"no telemetry for {silence:.0f}s"))
         return firing
+
+    def node_conditions(self, delta: "NodeDelta", now: float) -> Optional[List[str]]:
+        # A delta can only *clear* silence (the node just reported);
+        # raising still needs the periodic sweep — absence of telemetry
+        # produces no delta to observe.
+        if delta.last_seen is None:
+            return None
+        silence = now - delta.last_seen
+        if silence > self.max_silence_s:
+            return [f"no telemetry for {silence:.0f}s"]
+        return []
 
 
 class LowPdrRule(AlertRule):
@@ -109,6 +164,13 @@ class DutyCycleRule(AlertRule):
                 )
         return firing
 
+    def node_conditions(self, delta: "NodeDelta", now: float) -> Optional[List[str]]:
+        if delta.duty_utilisation is None:
+            return None  # no status seen yet; cannot judge
+        if delta.duty_utilisation >= self.threshold:
+            return [f"duty-cycle utilisation {delta.duty_utilisation:.0%} of budget"]
+        return []
+
 
 class BatteryLowRule(AlertRule):
     """A node's battery voltage dropped below the threshold."""
@@ -126,6 +188,13 @@ class BatteryLowRule(AlertRule):
             if status is not None and status.battery_v < self.threshold_v:
                 firing.append((node, f"battery at {status.battery_v:.2f} V"))
         return firing
+
+    def node_conditions(self, delta: "NodeDelta", now: float) -> Optional[List[str]]:
+        if delta.battery_v is None:
+            return None  # no status seen yet; cannot judge
+        if delta.battery_v < self.threshold_v:
+            return [f"battery at {delta.battery_v:.2f} V"]
+        return []
 
 
 class QueueBacklogRule(AlertRule):
@@ -145,6 +214,13 @@ class QueueBacklogRule(AlertRule):
                 firing.append((node, f"MAC queue depth {status.queue_depth}"))
         return firing
 
+    def node_conditions(self, delta: "NodeDelta", now: float) -> Optional[List[str]]:
+        if delta.queue_depth is None:
+            return None  # no status seen yet; cannot judge
+        if delta.queue_depth >= self.threshold:
+            return [f"MAC queue depth {delta.queue_depth}"]
+        return []
+
 
 def default_rules(report_interval_s: float = 60.0) -> List[AlertRule]:
     """The rule set the examples and experiments use.
@@ -160,18 +236,69 @@ def default_rules(report_interval_s: float = 60.0) -> List[AlertRule]:
     ]
 
 
-class AlertEngine:
-    """Stateful alert evaluation."""
+#: Default bound on the alert history ring.
+DEFAULT_HISTORY_LIMIT = 256
 
-    def __init__(self, store: MetricsStore, rules: Optional[List[AlertRule]] = None) -> None:
+
+class AlertEngine:
+    """Stateful alert evaluation.
+
+    Two entry points share the same alert state:
+
+    * :meth:`evaluate` — the periodic full sweep over every rule.
+    * :meth:`observe` — the O(delta) path the ingest pipeline calls
+      with just the nodes a batch touched; only rules that implement
+      :meth:`AlertRule.node_conditions` participate.
+
+    History is a bounded ring (``deque(maxlen=...)``) so a long-running
+    server's memory does not grow with alert churn; the cumulative
+    :attr:`alerts_emitted` counter keeps the total observable after
+    eviction.
+    """
+
+    def __init__(
+        self,
+        store: MetricsStore,
+        rules: Optional[List[AlertRule]] = None,
+        history_limit: int = DEFAULT_HISTORY_LIMIT,
+    ) -> None:
         self.store = store
         self.rules = rules if rules is not None else default_rules()
         self._active: Dict[Tuple[str, Optional[int]], Alert] = {}
-        self.history: List[Alert] = []
+        self.history: Deque[Alert] = deque(maxlen=history_limit)
+        #: Alerts raised over the engine's lifetime (history may have
+        #: evicted some; this counter never resets).
+        self.alerts_emitted = 0
         #: Notification sinks: called with each newly raised alert.
         self.on_raise: List = []
         #: Notification sinks: called with each alert that just cleared.
         self.on_clear: List = []
+
+    @property
+    def history_len(self) -> int:
+        """Alerts currently retained in the bounded history ring."""
+        return len(self.history)
+
+    def _raise(self, rule: AlertRule, node: Optional[int], message: str, now: float) -> Alert:
+        alert = Alert(
+            rule=rule.name,
+            node=node,
+            severity=rule.severity,
+            message=message,
+            raised_at=now,
+        )
+        self._active[(rule.name, node)] = alert
+        self.history.append(alert)
+        self.alerts_emitted += 1
+        for sink in self.on_raise:
+            sink(alert)
+        return alert
+
+    def _clear(self, key: Tuple[str, Optional[int]]) -> Alert:
+        cleared = self._active.pop(key)
+        for sink in self.on_clear:
+            sink(cleared)
+        return cleared
 
     def evaluate(self, now: float) -> List[Alert]:
         """Re-evaluate all rules; returns newly *raised* alerts.
@@ -187,24 +314,40 @@ class AlertEngine:
                 firing_keys.add(key)
                 if key in self._active:
                     continue
-                alert = Alert(
-                    rule=rule.name,
-                    node=node,
-                    severity=rule.severity,
-                    message=message,
-                    raised_at=now,
-                )
-                self._active[key] = alert
-                self.history.append(alert)
-                raised.append(alert)
-                for sink in self.on_raise:
-                    sink(alert)
+                raised.append(self._raise(rule, node, message, now))
         for key in list(self._active):
             if key not in firing_keys:
-                cleared = self._active.pop(key)
-                for sink in self.on_clear:
-                    sink(cleared)
+                self._clear(key)
         return raised
+
+    def observe(
+        self, now: float, deltas: Iterable["NodeDelta"]
+    ) -> Tuple[List[Alert], List[Alert]]:
+        """O(delta) evaluation from in-memory node snapshots.
+
+        The ingest pipeline hands one :class:`NodeDelta` per node a
+        batch touched; no store reads happen, so this is safe (and
+        cheap) under the server lock.  Only rules that can judge one
+        node from its snapshot take part (those returning non-None from
+        :meth:`AlertRule.node_conditions`).  Returns ``(raised,
+        cleared)`` — the push pipeline publishes both as stream events.
+        Alerts raised by other rule/node combinations are untouched, so
+        the periodic :meth:`evaluate` sweep and this path compose.
+        """
+        raised: List[Alert] = []
+        cleared: List[Alert] = []
+        for delta in deltas:
+            for rule in self.rules:
+                messages = rule.node_conditions(delta, now)
+                if messages is None:
+                    continue  # not judgeable from this delta; sweep owns it
+                key = (rule.name, delta.node)
+                if messages:
+                    if key not in self._active:
+                        raised.append(self._raise(rule, delta.node, messages[0], now))
+                elif key in self._active:
+                    cleared.append(self._clear(key))
+        return raised, cleared
 
     def active(self) -> List[Alert]:
         """Currently firing alerts, oldest first."""

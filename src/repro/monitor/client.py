@@ -15,17 +15,26 @@ Reliability model:
   ``batch_seq`` but with their original record ``seq`` values — the server
   deduplicates on (node, seq), giving at-least-once delivery over the
   out-of-band uplink.
+
+The consumer side of the push pipeline also lives here:
+:class:`SseStreamClient` subscribes to a server's SSE stream routes and
+iterates decoded :class:`~repro.monitor.stream.events.StreamEvent`
+objects, reconnecting with ``Last-Event-ID`` so deltas missed during an
+outage are replayed from the hub's ring.
 """
 
 from __future__ import annotations
 
 import itertools
 import struct
+import time
+import urllib.error
+import urllib.request
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Any, Deque, Iterator, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DecodeError
 from repro.mesh.node import MeshNode
 from repro.mesh.packet import Packet, PacketType, crc16_ccitt
 from repro.monitor.ingest import DEFAULT_NETWORK_ID, validate_network_id
@@ -36,6 +45,8 @@ from repro.monitor.records import (
     RecordBatch,
     StatusRecord,
 )
+from repro.monitor.stream.events import StreamEvent, decode_event
+from repro.monitor.stream.sse import DEFAULT_RETRY_MS, SseParser
 from repro.monitor.uplink import Uplink
 from repro.phy.channel import Reception
 from repro.sim.engine import Simulator
@@ -331,3 +342,144 @@ class MonitorClient:
 
         self.stats.uplink_bytes += self.uplink.wire_size(batch)
         self.uplink.send(batch, on_result)
+
+
+class SseStreamClient:
+    """Iterator of decoded stream events from a server's SSE routes.
+
+    Connects to ``GET /api/v1/stream`` (the fleet topic) or
+    ``GET /api/v1/networks/<id>/stream`` and yields
+    :class:`~repro.monitor.stream.events.StreamEvent` objects as the
+    server pushes them.  On connection loss it reconnects with the
+    ``Last-Event-ID`` header set to the last delivered event id, so the
+    server's replay ring fills the gap; the server's ``retry:`` hint
+    (when seen) overrides the reconnect delay.
+
+    Comment heartbeats and frames that do not decode as
+    ``repro.stream/1`` events are skipped silently — forward
+    compatibility is the consumer's job per the schema contract.
+
+    Not thread-safe: one client, one iterating thread.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        network_id: Optional[str] = None,
+        timeout_s: float = 30.0,
+        limit: Optional[int] = None,
+        heartbeat_s: Optional[float] = None,
+        max_reconnects: Optional[int] = None,
+        last_event_id: Optional[int] = None,
+    ) -> None:
+        """Args:
+            base_url: server root, e.g. ``http://127.0.0.1:8080``.
+            network_id: subscribe to this network's topic; None means
+                the fleet topic.
+            timeout_s: socket read timeout; must exceed the server's
+                heartbeat period or quiet topics look like dead peers.
+            limit: ask the server to close the stream after this many
+                events (the bounded mode tests use); the iterator ends
+                rather than reconnecting once it is reached.
+            heartbeat_s: override the server's heartbeat period.
+            max_reconnects: give up after this many failed reconnect
+                attempts (None = keep trying until :meth:`close`).
+            last_event_id: resume cursor for the *first* connect —
+                replays everything after it from the server's ring.
+        """
+        if network_id is not None:
+            try:
+                validate_network_id(network_id)
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from None
+        if timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+        self.base_url = base_url.rstrip("/")
+        self.network_id = network_id
+        self._timeout = timeout_s
+        self._limit = limit
+        self._heartbeat_s = heartbeat_s
+        self._max_reconnects = max_reconnects
+        #: The resume cursor: last event id delivered to the iterator.
+        self.last_event_id = last_event_id
+        #: Server reconnect-delay hint (ms), once one has been seen.
+        self.retry_ms: Optional[int] = None
+        self.events_received = 0
+        self.reconnects = 0
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        if self.network_id is None:
+            path = "/api/v1/stream"
+        else:
+            path = f"/api/v1/networks/{self.network_id}/stream"
+        params = []
+        if self._heartbeat_s is not None:
+            params.append(f"heartbeat={self._heartbeat_s}")
+        if self._limit is not None:
+            params.append(f"limit={self._limit}")
+        query = "?" + "&".join(params) if params else ""
+        return f"{self.base_url}{path}{query}"
+
+    def close(self) -> None:
+        """Stop the iterator at the next frame/reconnect boundary."""
+        self._closed = True
+
+    def _connect(self) -> Any:
+        headers = {"Accept": "text/event-stream"}
+        if self.last_event_id is not None:
+            headers["Last-Event-ID"] = str(self.last_event_id)
+        request = urllib.request.Request(self.url, headers=headers)
+        return urllib.request.urlopen(request, timeout=self._timeout)
+
+    def _reconnect_delay_s(self) -> float:
+        return (self.retry_ms if self.retry_ms is not None else DEFAULT_RETRY_MS) / 1000.0
+
+    def events(self) -> Iterator[StreamEvent]:
+        """Yield decoded events until closed, limit reached, or given up."""
+        failures = 0
+        while not self._closed:
+            try:
+                response = self._connect()
+            except (urllib.error.URLError, OSError):
+                failures += 1
+                if self._max_reconnects is not None and failures > self._max_reconnects:
+                    return
+                self.reconnects += 1
+                time.sleep(self._reconnect_delay_s())
+                continue
+            failures = 0
+            parser = SseParser()
+            try:
+                with response:
+                    for line in response:
+                        if self._closed:
+                            return
+                        message = parser.feed(line)
+                        if parser.retry_ms is not None:
+                            self.retry_ms = parser.retry_ms
+                        if message is None:
+                            continue
+                        try:
+                            event = decode_event(message.data)
+                        except DecodeError:
+                            continue  # not a repro.stream/1 payload; skip
+                        self.last_event_id = event.event_id
+                        self.events_received += 1
+                        yield event
+                        if self._limit is not None and self.events_received >= self._limit:
+                            return
+            except (urllib.error.URLError, OSError):
+                pass  # dropped mid-stream; fall through to reconnect
+            if self._closed:
+                return
+            if self._limit is not None and self.events_received >= self._limit:
+                return
+            # Clean end-of-stream (server shutdown or proxy cut): resume
+            # from the cursor after the server's suggested delay.
+            self.reconnects += 1
+            time.sleep(self._reconnect_delay_s())
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return self.events()

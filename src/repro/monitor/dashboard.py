@@ -332,16 +332,7 @@ class Dashboard:
                 }
                 for row in metrics.type_breakdown(self.store)
             ],
-            "alerts": [
-                {
-                    "rule": alert.rule,
-                    "node": alert.node,
-                    "severity": alert.severity,
-                    "message": alert.message,
-                    "raised_at": alert.raised_at,
-                }
-                for alert in self.alerts.active()
-            ],
+            "alerts": [alert.to_json_dict() for alert in self.alerts.active()],
             "server": self.server_document(),
             "drops": self.drops_document(),
         }

@@ -61,6 +61,8 @@ from repro.monitor.routes import (
     successor_path,
 )
 from repro.monitor.server import MonitorServer
+from repro.monitor.stream.events import FLEET_TOPIC, network_topic
+from repro.monitor.stream.sse import DEFAULT_HEARTBEAT_S, DEFAULT_RETRY_MS, pump
 
 _INDEX_HTML = """<!DOCTYPE html>
 <html><head><title>LoRa mesh monitor</title>
@@ -316,6 +318,81 @@ class MonitoringHttpServer:
                     api.monitor_server.self_metrics_document(), extra_headers=headers
                 )
 
+            # -- stream handlers ---------------------------------------------
+
+            def _serve_stream(self, topic: str, headers: _Headers) -> None:
+                """Subscribe to ``topic`` and pump SSE frames until EOF.
+
+                The response is a long-lived ``text/event-stream`` body:
+                headers go out manually (no Content-Length), then the
+                handler thread blocks in :func:`pump` moving events from
+                its bounded subscription queue into the socket, emitting
+                comment heartbeats while the topic is quiet.  The
+                subscription is deregistered on any exit path so a gone
+                client never leaks queue memory.
+                """
+                params = self._query_params()
+                try:
+                    heartbeat_s = float(params.get("heartbeat", str(DEFAULT_HEARTBEAT_S)))
+                    limit = int(params["limit"]) if "limit" in params else None
+                except ValueError:
+                    self._send_json(
+                        {"error": "heartbeat must be a float, limit an int"},
+                        code=400,
+                        extra_headers=headers,
+                    )
+                    return
+                if heartbeat_s <= 0 or (limit is not None and limit < 1):
+                    self._send_json(
+                        {"error": "heartbeat must be > 0 and limit >= 1"},
+                        code=400,
+                        extra_headers=headers,
+                    )
+                    return
+                # The SSE resume cursor: the Last-Event-ID header a
+                # reconnecting EventSource sends wins; the query
+                # parameter serves clients that cannot set headers.
+                # Anything non-integer is treated as absent (a fresh
+                # subscription), matching EventSource behaviour.
+                raw_cursor = self.headers.get(
+                    "Last-Event-ID", params.get("last_event_id")
+                )
+                last_event_ids: Optional[Dict[str, int]] = None
+                if raw_cursor is not None:
+                    try:
+                        last_event_ids = {topic: int(raw_cursor)}
+                    except ValueError:
+                        last_event_ids = None
+                hub = api.monitor_server.stream
+                subscription = hub.subscribe([topic], last_event_ids=last_event_ids)
+                try:
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/event-stream")
+                    self.send_header("Cache-Control", "no-cache")
+                    for name, value in headers:
+                        self.send_header(name, value)
+                    self.end_headers()
+                    pump(
+                        subscription,
+                        self.wfile,
+                        heartbeat_s=heartbeat_s,
+                        limit=limit,
+                        retry_ms=DEFAULT_RETRY_MS,
+                    )
+                finally:
+                    hub.unsubscribe(subscription)
+
+            def _h_stream(self, network: str, headers: _Headers, legacy: bool) -> None:
+                self._serve_stream(FLEET_TOPIC, headers)
+
+            def _h_network_stream(
+                self, network: str, headers: _Headers, legacy: bool
+            ) -> None:
+                # Unknown networks are legal: subscribing does not create
+                # a shard, the stream simply stays quiet until the
+                # network's first batch arrives (heartbeats still flow).
+                self._serve_stream(network_topic(network), headers)
+
             # -- network-scoped handlers -------------------------------------
 
             def _h_network_detail(
@@ -372,16 +449,7 @@ class MonitoringHttpServer:
                 now = api._clock()
                 dashboard.alerts.evaluate(now)
                 self._send_json(
-                    [
-                        {
-                            "rule": alert.rule,
-                            "node": alert.node,
-                            "severity": alert.severity,
-                            "message": alert.message,
-                            "raised_at": alert.raised_at,
-                        }
-                        for alert in dashboard.alerts.active()
-                    ],
+                    [alert.to_json_dict() for alert in dashboard.alerts.active()],
                     extra_headers=headers,
                 )
 

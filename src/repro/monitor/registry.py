@@ -28,18 +28,43 @@ from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.monitor.alerts import AlertEngine
+from repro.monitor.fleet import TileAggregate
 from repro.monitor.ingest import DEFAULT_NETWORK_ID, SeqWindow
+from repro.monitor.rollup import IncrementalRollup
 from repro.monitor.storage import MetricsStore
 
 StoreFactory = Callable[[str], MetricsStore]
 
+#: Bucket width of the per-shard traffic rollup feeding ``rollup-update``
+#: stream events (matches the dashboard history default).
+SHARD_ROLLUP_INTERVAL_S = 300.0
+
 
 class NetworkShard:
-    """One network's slice of the server: store, dedup state, counters."""
+    """One network's slice of the server: store, dedup state, counters.
+
+    Beyond the ingest bookkeeping, a shard owns the incremental read
+    path the push pipeline feeds at ingest time (all under the server
+    lock): a :class:`~repro.monitor.fleet.TileAggregate` so fleet tiles
+    are snapshot reads, an
+    :class:`~repro.monitor.rollup.IncrementalRollup` whose dirty buckets
+    become ``rollup-update`` stream events, and an
+    :class:`~repro.monitor.alerts.AlertEngine` evaluated O(delta) via
+    :meth:`~repro.monitor.alerts.AlertEngine.observe`.
+    """
 
     def __init__(self, network_id: str, store: MetricsStore) -> None:
         self.network_id = network_id
         self.store = store
+        #: Incremental fleet-tile aggregates (seeded when the store
+        #: already holds records — the adopted-store path).
+        self.tile = TileAggregate()
+        self.tile.seed_from_store(store)
+        #: Per-network traffic rollup fed record-by-record.
+        self.rollup = IncrementalRollup(interval_s=SHARD_ROLLUP_INTERVAL_S)
+        #: Per-network alert state driven by the O(delta) observe path.
+        self.alerts = AlertEngine(store)
         #: Per-node dedup windows, private to this network — the same
         #: node address in two networks never shares a window.
         self.packet_windows: Dict[int, SeqWindow] = {}

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError
 from repro.monitor.records import Direction
@@ -70,6 +70,52 @@ class RollupSeries:
 
     def __len__(self) -> int:
         return len(self._buckets)
+
+
+def bucket_document(bucket: Bucket, interval_s: float) -> Dict[str, Any]:
+    """One bucket as the JSON object the history route and the stream share."""
+    return {
+        "start": bucket.start,
+        "interval_s": interval_s,
+        "count": bucket.count,
+        "mean": bucket.mean,
+        "min": bucket.minimum,
+        "max": bucket.maximum,
+    }
+
+
+class IncrementalRollup(RollupSeries):
+    """A :class:`RollupSeries` fed sample-by-sample at ingest time.
+
+    Same bucket math as the batch rollup — the math *is* the parent's,
+    so a store replayed record-by-record lands in bucket-identical
+    state (a property test pins this, including out-of-order and
+    duplicate timestamps).  On top of it, the incremental rollup tracks
+    which buckets changed since the last :meth:`drain_updates` call;
+    those are exactly the ``rollup-update`` delta events the push
+    pipeline publishes, so the stream carries O(changed buckets) per
+    batch instead of the whole series.
+    """
+
+    def __init__(self, interval_s: float, origin: float = 0.0) -> None:
+        super().__init__(interval_s, origin=origin)
+        self._dirty: Set[int] = set()
+
+    def add(self, timestamp: float, value: float) -> None:
+        super().add(timestamp, value)
+        self._dirty.add(int((timestamp - self.origin) // self.interval_s))
+
+    @property
+    def pending_updates(self) -> int:
+        """Buckets changed since the last drain."""
+        return len(self._dirty)
+
+    def drain_updates(self) -> List[Bucket]:
+        """The buckets touched since the last drain, in time order."""
+        if not self._dirty:
+            return []
+        dirty, self._dirty = self._dirty, set()
+        return [self._buckets[index] for index in sorted(dirty)]
 
 
 def rollup_packet_rate(

@@ -112,6 +112,31 @@ class Route:
         }
 
 
+_STREAM_PARAMS = (
+    Param(
+        "heartbeat",
+        "float",
+        description="Comment-heartbeat period in seconds while the topic is quiet.",
+        default="15",
+    ),
+    Param(
+        "limit",
+        "int",
+        description=(
+            "Close the stream after this many events (bounded mode for "
+            "tests and scripts); omitted = stream until disconnect."
+        ),
+    ),
+    Param(
+        "last_event_id",
+        "int",
+        description=(
+            "Resume cursor for clients that cannot set the Last-Event-ID "
+            "header; the header wins when both are present."
+        ),
+    ),
+)
+
 _HISTORY_PARAMS = (
     Param("node", "int", required=True, description="Node address the series is for."),
     Param(
@@ -161,7 +186,40 @@ ROUTES: Tuple[Route, ...] = (
         summary="Server self-metrics: ingest/dedup/queue/flush counters.",
         response="object: ingestion counters, queue state, per-store flush stats",
     ),
+    Route(
+        name="stream",
+        method="GET",
+        pattern="/api/v1/stream",
+        summary=(
+            "Live fleet event stream (SSE). Pushes repro.stream/1 delta "
+            "events on the fleet topic — fleet-tile changes as batches "
+            "arrive — with comment heartbeats while quiet. Reconnecting "
+            "clients resume from the Last-Event-ID header (bounded replay "
+            "ring; see docs/STREAMING.md)."
+        ),
+        response=(
+            "text/event-stream of repro.stream/1 events (event/id/data "
+            "frames, ': keep-alive' heartbeats, retry hint)"
+        ),
+        params=_STREAM_PARAMS,
+    ),
     # -- network-scoped ------------------------------------------------------
+    Route(
+        name="network-stream",
+        method="GET",
+        pattern="/api/v1/networks/<network>/stream",
+        summary=(
+            "Live event stream (SSE) for one network: ingest-delta, "
+            "rollup-update, alert-raised/alert-cleared and fleet-tile "
+            "events as its batches arrive. Same framing, heartbeat and "
+            "Last-Event-ID resume semantics as /api/v1/stream."
+        ),
+        response=(
+            "text/event-stream of repro.stream/1 events (event/id/data "
+            "frames, ': keep-alive' heartbeats, retry hint)"
+        ),
+        params=_STREAM_PARAMS,
+    ),
     Route(
         name="network-detail",
         method="GET",

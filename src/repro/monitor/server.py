@@ -85,9 +85,13 @@ if TYPE_CHECKING:  # public names, for annotations only
         ServerStats,
     )
     from repro.monitor.transport.base import IngestTransport
+from repro.monitor.fleet import materialized_tile
 from repro.monitor.records import RecordBatch
 from repro.monitor.registry import NetworkRegistry, NetworkShard, StoreFactory
+from repro.monitor.rollup import bucket_document
 from repro.monitor.storage import MetricsStore
+from repro.monitor.stream.events import FLEET_TOPIC, network_topic
+from repro.monitor.stream.hub import StreamHub
 
 #: Kept under its historical (private) name for in-repo callers.
 _SeqWindow = SeqWindow
@@ -128,6 +132,7 @@ class MonitorServer:
         store_factory: Optional[StoreFactory] = None,
         max_networks: Optional[int] = None,
         network_queue_quota: Optional[int] = None,
+        report_interval_s: float = 60.0,
     ) -> None:
         """Create a server.
 
@@ -151,7 +156,13 @@ class MonitorServer:
             network_queue_quota: per-network bound on queued batches
                 (None = no per-network bound; only the global capacity
                 applies).
+            report_interval_s: expected client report interval, used
+                when rendering the fleet tiles published on the stream.
         """
+        if report_interval_s <= 0:
+            raise ConfigurationError(
+                f"report_interval_s must be > 0, got {report_interval_s}"
+            )
         if queue_capacity is not None and queue_capacity < 1:
             raise ConfigurationError(
                 f"queue_capacity must be >= 1 or None, got {queue_capacity}"
@@ -180,8 +191,17 @@ class MonitorServer:
         self.autodrain = autodrain
         self.retry_after_s = retry_after_s
         self.network_queue_quota = network_queue_quota
+        self.report_interval_s = report_interval_s
         self._queue: Deque[RecordBatch] = deque()  # guarded-by: _lock
         self._transports: List[IngestTransport] = []  # guarded-by: _lock
+        #: Push-pipeline fan-out.  The ingest path publishes while
+        #: holding the server lock (``MonitorServer._lock`` ->
+        #: ``StreamHub._lock`` is the sanctioned order); the hub is a
+        #: leaf that never calls back into the server.
+        self.stream = StreamHub(clock=self._clock)
+        #: Cached assembled fleet-overview document, keyed by ingest
+        #: progress + rendering parameters (see fleet.fleet_overview).
+        self._fleet_cache: Optional[Any] = None  # guarded-by: _lock
 
     # -- tenancy --------------------------------------------------------------
 
@@ -202,6 +222,34 @@ class MonitorServer:
         """The metrics store for ``network_id``, or None if not resident."""
         shard = self.registry.get(network_id)
         return shard.store if shard is not None else None
+
+    # -- fleet snapshot cache -------------------------------------------------
+
+    def fleet_version(self) -> tuple:
+        """Ingest-progress fingerprint the fleet-overview cache is keyed on.
+
+        Any accepted batch, eviction, or change in resident networks
+        changes the fingerprint, invalidating the cached overview.
+        """
+        with self._lock:
+            return (
+                self.self_metrics.batches_ingested,
+                self.registry.evictions,
+                len(self.registry),
+            )
+
+    def fleet_cache_get(self, key: tuple) -> Optional[Dict[str, Any]]:
+        """The cached fleet-overview document for ``key``, if current."""
+        with self._lock:
+            cached = self._fleet_cache
+            if cached is not None and cached[0] == key:
+                return cached[1]  # type: ignore[no-any-return]
+            return None
+
+    def fleet_cache_put(self, key: tuple, document: Dict[str, Any]) -> None:
+        """Remember the assembled overview for ``key`` (latest wins)."""
+        with self._lock:
+            self._fleet_cache = (key, document)
 
     # -- admission -----------------------------------------------------------
 
@@ -492,6 +540,54 @@ class MonitorServer:
             shard.records_ingested += accepted
             shard.dedup_hits += duplicates
             shard.last_batch_at = now
+            # Incremental read path + push pipeline: feed the shard's
+            # tile/rollup/alert aggregates and publish the deltas.  All
+            # of it is in-memory bookkeeping; publishing under the
+            # server lock keeps event order consistent with the
+            # counters the events report (server -> hub is the
+            # sanctioned lock order, and the hub is a leaf).
+            shard.tile.observe_batch(batch.node, now)
+            for record in accepted_packets:
+                shard.rollup.add(record.timestamp, float(record.size_bytes))
+                shard.tile.observe_packet(record)
+            for record in accepted_status:
+                shard.tile.observe_status(record)
+            topic = network_topic(batch.network_id)
+            self.stream.publish(
+                topic,
+                "ingest-delta",
+                {
+                    "network": batch.network_id,
+                    "node": batch.node,
+                    "accepted_packets": len(accepted_packets),
+                    "accepted_status": len(accepted_status),
+                    "duplicates": duplicates,
+                    "batches_ingested": shard.batches_ingested,
+                    "records_ingested": shard.records_ingested,
+                },
+                at=now,
+            )
+            for bucket in shard.rollup.drain_updates():
+                data = bucket_document(bucket, shard.rollup.interval_s)
+                data["network"] = batch.network_id
+                self.stream.publish(topic, "rollup-update", data, at=now)
+            raised, cleared = shard.alerts.observe(
+                now, (shard.tile.node_delta(batch.node),)
+            )
+            for alert in raised:
+                data = alert.to_json_dict()
+                data["network"] = batch.network_id
+                self.stream.publish(topic, "alert-raised", data, at=now)
+            for alert in cleared:
+                data = alert.to_json_dict()
+                data["network"] = batch.network_id
+                data["cleared_at"] = now
+                self.stream.publish(topic, "alert-cleared", data, at=now)
+            tile = materialized_tile(
+                shard, now, report_interval_s=self.report_interval_s
+            )
+            self.stream.publish(topic, "fleet-tile", tile, at=now)
+            self.stream.publish(FLEET_TOPIC, "fleet-tile", tile, at=now)
             result = _IngestResult(
                 ok=True,
                 accepted_packets=len(accepted_packets),
@@ -577,6 +673,9 @@ class MonitorServer:
             transport.stop()
         self.drain()
         self.flush()
+        # Close the hub after the final drain so the last deltas reach
+        # subscribers, and before the stores go away.
+        self.stream.close()
         self.registry.close()
 
     def __enter__(self) -> "MonitorServer":
@@ -592,6 +691,13 @@ class MonitorServer:
         with self._lock:
             document = self.self_metrics.to_json_dict()
             transports = list(self._transports)
+            alerts_emitted = 0
+            alerts_history_len = 0
+            alerts_active = 0
+            for shard in self.registry:
+                alerts_emitted += shard.alerts.alerts_emitted
+                alerts_history_len += shard.alerts.history_len
+                alerts_active += len(shard.alerts.active())
             document.update(
                 {
                     "queue_depth": len(self._queue),
@@ -602,6 +708,11 @@ class MonitorServer:
                     "networks": len(self.registry),
                     "network_queue_quota": self.network_queue_quota,
                     "network_evictions": self.registry.evictions,
+                    # Shard alert engines (the O(delta) observe path);
+                    # history is a bounded ring, so emitted >= history.
+                    "alerts_emitted": alerts_emitted,
+                    "alerts_history_len": alerts_history_len,
+                    "alerts_active": alerts_active,
                 }
             )
         # Transports lock themselves; collecting their documents outside
@@ -609,6 +720,10 @@ class MonitorServer:
         document["transports"] = {
             transport.name: transport.stats_document() for transport in transports
         }
+        # Same shape for the hub: it locks itself, and collecting the
+        # stream document outside the server lock keeps the sanctioned
+        # server -> hub order one-directional.
+        document["stream"] = self.stream.stats_document()
         store_stats = getattr(self.store, "flush_stats", None)
         if store_stats is not None:
             document["store"] = {

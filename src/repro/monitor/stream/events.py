@@ -1,0 +1,134 @@
+"""The versioned delta-event schema carried by the push pipeline.
+
+Every event the monitoring server pushes — over SSE today, any future
+transport tomorrow — is a :class:`StreamEvent`: a *topic* (one mesh
+network, or the fleet), a per-topic monotonic *event id* (what
+``Last-Event-ID`` resume is keyed on), a *type* naming the kind of
+delta, the server clock it happened at, and a JSON-object payload.
+
+The wire encoding is canonical JSON (sorted keys, no whitespace), so a
+given event has exactly one byte representation — replayed events after
+a reconnect are byte-identical to the original delivery, and tests can
+compare frames directly.
+
+Schema version
+--------------
+
+``repro.stream/1`` covers five event types:
+
+=================  ======================================================
+``ingest-delta``   One accepted batch: node, accepted/duplicate counts,
+                   cumulative shard counters.
+``rollup-update``  A rollup bucket changed: interval, bucket start,
+                   count/mean/min/max after the change.
+``alert-raised``   An alert condition began firing.
+``alert-cleared``  A previously raised condition stopped firing.
+``fleet-tile``     A network's fleet tile changed (published on both the
+                   network topic and the fleet topic).
+=================  ======================================================
+
+Consumers must ignore event types they do not know: additions are
+backwards-compatible within ``repro.stream/1``; changing or removing a
+field bumps the version.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Union
+
+from repro.errors import DecodeError
+
+#: Version tag stamped into every encoded event.
+STREAM_SCHEMA = "repro.stream/1"
+
+#: Topic carrying fleet-level events (tile changes across all networks).
+FLEET_TOPIC = "fleet"
+
+#: The event types of schema version 1.
+EVENT_TYPES = frozenset(
+    {
+        "ingest-delta",
+        "rollup-update",
+        "alert-raised",
+        "alert-cleared",
+        "fleet-tile",
+    }
+)
+
+
+def network_topic(network_id: str) -> str:
+    """The per-network topic name for ``network_id``."""
+    return f"network:{network_id}"
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One delta event on one topic.
+
+    Attributes:
+        topic: ``fleet`` or ``network:<id>``.
+        event_id: monotonic per-topic sequence number assigned by the
+            hub at publish time; the ``Last-Event-ID`` resume cursor.
+        type: event kind (one of :data:`EVENT_TYPES`).
+        at: server clock when the delta happened.
+        data: JSON-object payload; shape depends on ``type``.
+    """
+
+    topic: str
+    event_id: int
+    type: str
+    at: float
+    data: Mapping[str, Any]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": STREAM_SCHEMA,
+            "topic": self.topic,
+            "id": self.event_id,
+            "type": self.type,
+            "at": self.at,
+            "data": dict(self.data),
+        }
+
+
+def encode_event(event: StreamEvent) -> str:
+    """Canonical JSON encoding: sorted keys, no whitespace.
+
+    One event, one byte representation — replays are byte-identical.
+    """
+    return json.dumps(
+        event.to_json_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def decode_event(payload: Union[str, bytes]) -> StreamEvent:
+    """Parse one encoded event; raises :class:`DecodeError` on anything off."""
+    if isinstance(payload, bytes):
+        try:
+            payload = payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"stream event is not UTF-8: {exc}") from None
+    try:
+        document = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise DecodeError(f"stream event is not JSON: {exc}") from None
+    if not isinstance(document, dict):
+        raise DecodeError("stream event must be a JSON object")
+    schema = document.get("schema")
+    if schema != STREAM_SCHEMA:
+        raise DecodeError(f"unsupported stream schema {schema!r} (want {STREAM_SCHEMA!r})")
+    try:
+        event = StreamEvent(
+            topic=str(document["topic"]),
+            event_id=int(document["id"]),
+            type=str(document["type"]),
+            at=float(document["at"]),
+            data=document["data"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DecodeError(f"malformed stream event: {exc!r}") from None
+    if not isinstance(event.data, dict):
+        raise DecodeError("stream event 'data' must be a JSON object")
+    return event

@@ -1,0 +1,171 @@
+"""Server-Sent-Events framing for the stream routes.
+
+SSE (the ``text/event-stream`` media type) is the simplest push channel
+a stdlib HTTP server can speak: a long-lived response whose body is a
+sequence of UTF-8 frames::
+
+    retry: 2000\\n\\n            # client reconnect delay hint
+    : keep-alive\\n\\n            # comment heartbeat (ignored by parsers)
+    event: ingest-delta\\n       # event type
+    id: 17\\n                    # Last-Event-ID resume cursor
+    data: {...}\\n\\n             # payload line(s)
+
+This module is transport-shaped only: :func:`format_event` /
+:func:`format_comment` / :func:`format_retry` render frames,
+:class:`SseParser` is the incremental line parser the client uses, and
+:func:`pump` is the handler-thread loop that moves events from a
+:class:`~repro.monitor.stream.hub.StreamSubscription` into a socket
+file, emitting comment heartbeats while the topic is quiet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.monitor.stream.events import StreamEvent, encode_event
+from repro.monitor.stream.hub import StreamSubscription
+
+#: Reconnect delay hint sent at the top of every stream response.
+DEFAULT_RETRY_MS = 2000
+
+#: Heartbeat comment period while a topic is quiet.
+DEFAULT_HEARTBEAT_S = 15.0
+
+
+@dataclass(frozen=True)
+class SseMessage:
+    """One parsed wire frame (client side)."""
+
+    event: str
+    id: Optional[str]
+    data: str
+
+
+def format_event(event: StreamEvent) -> bytes:
+    """One SSE frame for ``event``: event/id/data lines + blank line."""
+    return (
+        f"event: {event.type}\nid: {event.event_id}\ndata: {encode_event(event)}\n\n"
+    ).encode("utf-8")
+
+
+def format_comment(text: str = "keep-alive") -> bytes:
+    """A comment frame — parsers skip it; it only keeps the socket warm."""
+    return f": {text}\n\n".encode("utf-8")
+
+
+def format_retry(retry_ms: int) -> bytes:
+    """The ``retry:`` frame telling clients how long to wait before reconnecting."""
+    return f"retry: {retry_ms}\n\n".encode("utf-8")
+
+
+class SseParser:
+    """Incremental SSE frame parser (feed lines, collect messages).
+
+    Follows the WHATWG dispatch rules for the fields this pipeline
+    uses: ``data:`` lines accumulate (joined with newlines), ``event:``
+    and ``id:`` set the pending frame's metadata, a blank line
+    dispatches, comments and unknown fields are ignored.  ``retry:`` is
+    captured into :attr:`retry_ms` for the client's reconnect delay.
+    """
+
+    def __init__(self) -> None:
+        self._data: List[str] = []
+        self._event: str = "message"
+        self._id: Optional[str] = None
+        self.retry_ms: Optional[int] = None
+        #: Last dispatched frame id (the reconnect cursor).
+        self.last_event_id: Optional[str] = None
+
+    def feed(self, line: Union[str, bytes]) -> Optional[SseMessage]:
+        """Feed one line (trailing newline optional); a frame when complete."""
+        if isinstance(line, bytes):
+            line = line.decode("utf-8", errors="replace")
+        line = line.rstrip("\r\n")
+        if not line:
+            return self._dispatch()
+        if line.startswith(":"):
+            return None  # comment (heartbeat)
+        field, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if field == "data":
+            self._data.append(value)
+        elif field == "event":
+            self._event = value
+        elif field == "id":
+            self._id = value
+        elif field == "retry":
+            try:
+                self.retry_ms = int(value)
+            except ValueError:
+                pass  # spec: ignore non-integer retry values
+        return None
+
+    def _dispatch(self) -> Optional[SseMessage]:
+        if not self._data and self._event == "message" and self._id is None:
+            return None  # blank line with nothing pending (e.g. after a comment)
+        message = SseMessage(
+            event=self._event, id=self._id, data="\n".join(self._data)
+        )
+        if self._id is not None:
+            self.last_event_id = self._id
+        self._data = []
+        self._event = "message"
+        self._id = None
+        return message
+
+
+def parse_sse(lines: Iterable[Union[str, bytes]]) -> Iterator[SseMessage]:
+    """Parse a whole SSE byte/line stream into messages (tests, clients)."""
+    parser = SseParser()
+    for line in lines:
+        message = parser.feed(line)
+        if message is not None:
+            yield message
+    tail = parser.feed("")  # dispatch a frame missing its trailing blank line
+    if tail is not None:
+        yield tail
+
+
+def pump(
+    subscription: StreamSubscription,
+    wfile: BinaryIO,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    limit: Optional[int] = None,
+    retry_ms: int = DEFAULT_RETRY_MS,
+) -> int:
+    """Move events from ``subscription`` into ``wfile`` as SSE frames.
+
+    Runs on the HTTP handler thread until the subscription closes, the
+    peer disconnects, or ``limit`` events were written (the bounded mode
+    CI and tests use).  While the topic is quiet a comment heartbeat
+    goes out every ``heartbeat_s`` so proxies and clients can tell a
+    slow topic from a dead server.  Returns the number of *events*
+    (not heartbeats) written.
+
+    The wait happens inside ``subscription.get`` — no lock is held, so
+    a slow or stalled client never backs anything up beyond its own
+    bounded queue.
+    """
+    if heartbeat_s <= 0:
+        raise ConfigurationError(f"heartbeat_s must be > 0, got {heartbeat_s}")
+    written = 0
+    try:
+        wfile.write(format_retry(retry_ms))
+        wfile.flush()
+        while limit is None or written < limit:
+            event = subscription.get(timeout=heartbeat_s)
+            if event is None:
+                if subscription.closed:
+                    break
+                wfile.write(format_comment())
+                wfile.flush()
+                continue
+            wfile.write(format_event(event))
+            wfile.flush()
+            written += 1
+    except (BrokenPipeError, ConnectionResetError, OSError):
+        pass  # peer went away; the subscription is cleaned up by the caller
+    return written

@@ -1,10 +1,17 @@
 """Rich HTML dashboard rendering.
 
-Produces a self-contained HTML page (inline CSS + SVG, no JavaScript
-dependencies) with the panels the paper's dashboard shows: summary tiles,
-an SVG map of the reconstructed topology, and the node / link / delivery
-/ alert tables.  Served at ``GET /`` by the HTTP API; the plain-text
-variant remains available at ``GET /text``.
+Produces a self-contained HTML page (inline CSS + SVG) with the panels
+the paper's dashboard shows: summary tiles, an SVG map of the
+reconstructed topology, and the node / link / delivery / alert tables.
+Served at ``GET /`` by the HTTP API; the plain-text variant remains
+available at ``GET /text``.
+
+Pages go live via the push pipeline: a small inline ``EventSource``
+script subscribes to the server's SSE stream, patches the summary tiles
+and alert list in place, and drives a visible live/stale connection
+badge.  Without JavaScript the pages degrade gracefully — a
+``<noscript>``-wrapped ``<meta http-equiv="refresh">`` keeps them
+polling exactly as before, and the badge stays hidden.
 
 Node positions on the map are computed server-side with a networkx
 spring layout over the *reported* link graph — the server has no ground
@@ -24,6 +31,7 @@ except ImportError:  # pragma: no cover - exercised only without networkx
 
 from repro.monitor import metrics
 from repro.monitor.dashboard import Dashboard
+from repro.monitor.ingest import DEFAULT_NETWORK_ID
 
 _CSS = """
 body { font-family: -apple-system, 'Segoe UI', sans-serif; background: #101418;
@@ -47,6 +55,103 @@ tr:nth-child(even) { background: #151b21; }
 .alert.warning { border-color: #e8c268; background: #1f1d16; }
 svg { background: #0c1013; border: 1px solid #2a333d; border-radius: 8px; }
 .muted { color: #5d6b79; }
+.badge { font-size: 0.5em; font-weight: 600; vertical-align: middle;
+         padding: 0.2em 0.7em; border-radius: 1em; border: 1px solid;
+         margin-left: 0.6em; letter-spacing: 0.06em; }
+.badge.live { color: #7fd4a5; border-color: #3d6b52; }
+.badge.stale { color: #e8c268; border-color: #6b5c2f; }
+"""
+
+#: Poll period of the no-JavaScript fallback (inside ``<noscript>`` so
+#: live pages are not also reloading underneath the SSE patcher).
+_NOSCRIPT_REFRESH = '<noscript><meta http-equiv="refresh" content="10"></noscript>'
+
+#: The connection badge; hidden until the EventSource script adopts it,
+#: so no-JS readers never see a dangling "stale" indicator.
+_BADGE = '<span id="live-badge" class="badge stale" hidden>connecting</span>'
+
+_BADGE_JS = """
+  var badge = document.getElementById("live-badge");
+  if (!badge || typeof EventSource === "undefined") { return; }
+  badge.hidden = false;
+  function setBadge(state) { badge.className = "badge " + state; badge.textContent = state; }
+  function payload(event) {
+    try { return JSON.parse(event.data).data; } catch (error) { return null; }
+  }
+"""
+
+
+def _live_script(stream_path: str, body: str) -> str:
+    """The inline EventSource patcher for one page.
+
+    ``body`` holds the page's event listeners; it can use ``source``,
+    ``setBadge(state)`` and ``payload(event)``.  Heartbeat comments are
+    invisible to ``EventSource``, so the badge is driven by the
+    connection state callbacks: ``open`` → live, ``error`` → stale
+    (the browser auto-reconnects per the server's ``retry:`` hint).
+    """
+    return (
+        "<script>\n(function () {\n  \"use strict\";\n"
+        + _BADGE_JS
+        + f'  var source = new EventSource("{stream_path}");\n'
+        + '  source.onopen = function () { setBadge("live"); };\n'
+        + '  source.onerror = function () { setBadge("stale"); };\n'
+        + body
+        + "})();\n</script>"
+    )
+
+
+_NETWORK_LISTENERS = """
+  function setLive(name, text) {
+    var el = document.querySelector('[data-live="' + name + '"]');
+    if (el) { el.textContent = text; }
+  }
+  source.addEventListener("fleet-tile", function (event) {
+    var tile = payload(event);
+    if (!tile) { return; }
+    if (tile.health !== null) { setLive("health", tile.health.toFixed(0)); }
+    if (tile.pdr !== null) { setLive("pdr", (100 * tile.pdr).toFixed(1) + "%"); }
+  });
+  source.addEventListener("alert-raised", function (event) {
+    var alert = payload(event);
+    var list = document.getElementById("alerts");
+    if (!alert || !list) { return; }
+    var key = alert.rule + ":" + alert.node;
+    if (list.querySelector('[data-key="' + key + '"]')) { return; }
+    var empty = document.getElementById("no-alerts");
+    if (empty) { empty.remove(); }
+    var div = document.createElement("div");
+    div.className = "alert " + alert.severity;
+    div.setAttribute("data-key", key);
+    var target = alert.node === null ? "network" : "node " + alert.node;
+    var rule = document.createElement("b");
+    rule.textContent = alert.rule;
+    div.appendChild(rule);
+    div.appendChild(document.createTextNode(" — " + target + ": " + alert.message));
+    list.appendChild(div);
+  });
+  source.addEventListener("alert-cleared", function (event) {
+    var alert = payload(event);
+    var list = document.getElementById("alerts");
+    if (!alert || !list) { return; }
+    var el = list.querySelector('[data-key="' + alert.rule + ":" + alert.node + '"]');
+    if (el) { el.remove(); }
+  });
+"""
+
+_FLEET_LISTENERS = """
+  source.addEventListener("fleet-tile", function (event) {
+    var tile = payload(event);
+    if (!tile) { return; }
+    var root = document.querySelector('[data-network="' + tile.network + '"]');
+    if (!root) { return; }  // unknown network: appears on the next full load
+    var value = root.querySelector(".value");
+    if (value && tile.health !== null) { value.textContent = tile.health.toFixed(0); }
+    var summary = root.querySelector('[data-live="summary"]');
+    if (summary) {
+      summary.textContent = tile.nodes + " nodes · " + tile.records_ingested + " records";
+    }
+  });
 """
 
 
@@ -171,17 +276,20 @@ def render_html(dashboard: Dashboard, now: float, network_id: Optional[str] = No
     pdr_percent = None if pdr is None or (isinstance(pdr, float) and math.isnan(pdr)) else pdr * 100
 
     label = "" if network_id is None else f" — network {html.escape(network_id)}"
+    stream_network = network_id if network_id is not None else DEFAULT_NETWORK_ID
+    stream_path = f"/api/v1/networks/{html.escape(stream_network)}/stream"
     sections = [
         "<!DOCTYPE html>",
         '<html><head><meta charset="utf-8">',
-        '<meta http-equiv="refresh" content="10">',
+        _NOSCRIPT_REFRESH,
         "<title>LoRa mesh monitor</title>",
         f"<style>{_CSS}</style></head><body>",
-        f"<h1>LoRa mesh monitor{label} <span class='muted'>t={now:.0f}s</span></h1>",
+        f"<h1>LoRa mesh monitor{label} <span class='muted'>t={now:.0f}s</span>{_BADGE}</h1>",
         '<div class="tiles">',
-        f'<div class="tile {health_tile_class}"><div class="value">{fmt(health, "", 0)}</div>'
+        f'<div class="tile {health_tile_class}">'
+        f'<div class="value" data-live="health">{fmt(health, "", 0)}</div>'
         '<div class="label">network health / 100</div></div>',
-        f'<div class="tile"><div class="value">{fmt(pdr_percent, "%", 1)}</div>'
+        f'<div class="tile"><div class="value" data-live="pdr">{fmt(pdr_percent, "%", 1)}</div>'
         '<div class="label">packet delivery</div></div>',
         f'<div class="tile"><div class="value">{online}/{len(nodes)}</div>'
         '<div class="label">nodes reporting</div></div>',
@@ -226,18 +334,20 @@ def render_html(dashboard: Dashboard, now: float, network_id: Optional[str] = No
         )
     sections.append("</table>")
 
-    sections.append("<h2>Alerts</h2>")
+    sections.append('<h2>Alerts</h2><div id="alerts">')
     alerts = document["alerts"]
     if not alerts:
-        sections.append('<p class="muted">no active alerts</p>')
+        sections.append('<p class="muted" id="no-alerts">no active alerts</p>')
     for alert in alerts:
         target = f"node {alert['node']}" if alert["node"] is not None else "network"
+        key = f"{alert['rule']}:{alert['node']}"
         sections.append(
-            f'<div class="alert {html.escape(alert["severity"])}">'
+            f'<div class="alert {html.escape(alert["severity"])}" data-key="{html.escape(key)}">'
             f"<b>{html.escape(alert['rule'])}</b> — {target}: "
             f"{html.escape(alert['message'])} "
             f'<span class="muted">since t={alert["raised_at"]:.0f}s</span></div>'
         )
+    sections.append("</div>")
 
     server = document.get("server")
     if server is not None:
@@ -265,6 +375,7 @@ def render_html(dashboard: Dashboard, now: float, network_id: Optional[str] = No
         )
         sections.append("</table>")
 
+    sections.append(_live_script(stream_path, _NETWORK_LISTENERS))
     sections.append("</body></html>")
     return "\n".join(sections)
 
@@ -288,10 +399,10 @@ def render_fleet_html(overview: Dict[str, Any]) -> str:
     sections = [
         "<!DOCTYPE html>",
         '<html><head><meta charset="utf-8">',
-        '<meta http-equiv="refresh" content="10">',
+        _NOSCRIPT_REFRESH,
         "<title>LoRa mesh monitor — fleet</title>",
         f"<style>{_CSS}</style></head><body>",
-        f"<h1>Fleet overview <span class='muted'>t={now:.0f}s</span></h1>",
+        f"<h1>Fleet overview <span class='muted'>t={now:.0f}s</span>{_BADGE}</h1>",
         '<div class="tiles">',
         f'<div class="tile"><div class="value">{totals["networks"]}</div>'
         '<div class="label">networks</div></div>',
@@ -310,11 +421,11 @@ def render_fleet_html(overview: Dict[str, Any]) -> str:
         klass = _health_class(health if health is not None else math.nan)
         name = html.escape(str(tile["network"]))
         sections.append(
-            f'<div class="tile {klass}">'
+            f'<div class="tile {klass}" data-network="{name}">'
             f'<div class="value">{fmt(health, "", 0)}</div>'
             f'<div class="label"><a href="/networks/{name}" style="color:inherit">'
-            f"{name}</a> · {tile['nodes']} nodes · "
-            f"{tile['records_ingested']} records</div></div>"
+            f'{name}</a> · <span data-live="summary">{tile["nodes"]} nodes · '
+            f"{tile['records_ingested']} records</span></div></div>"
         )
     sections.append("</div>")
 
@@ -335,5 +446,6 @@ def render_fleet_html(overview: Dict[str, Any]) -> str:
             "</tr>"
         )
     sections.append("</table>")
+    sections.append(_live_script("/api/v1/stream", _FLEET_LISTENERS))
     sections.append("</body></html>")
     return "\n".join(sections)

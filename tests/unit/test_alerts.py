@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import NodeDelta
 from repro.monitor.alerts import (
     AlertEngine,
     BatteryLowRule,
@@ -120,3 +121,101 @@ class TestEngineState:
         active = engine.active()
         assert all(a.raised_at == 5.0 for a in active)
         assert len(active) == 2
+
+
+class TestObserveDelta:
+    """The O(delta) path: in-memory NodeDelta snapshots, no store reads."""
+
+    def delta(self, node=1, **kwargs):
+        return NodeDelta(node=node, **kwargs)
+
+    def test_raise_and_clear_from_deltas(self, store):
+        engine = AlertEngine(store, rules=[BatteryLowRule(threshold_v=3.4)])
+        raised, cleared = engine.observe(0.0, [self.delta(battery_v=3.0)])
+        assert len(raised) == 1 and cleared == []
+        assert raised[0].node == 1 and raised[0].rule == "battery_low"
+        # Persisting condition: not re-raised.
+        raised, cleared = engine.observe(5.0, [self.delta(battery_v=3.1)])
+        assert raised == [] and cleared == []
+        # Recovered: cleared.
+        raised, cleared = engine.observe(10.0, [self.delta(battery_v=4.0)])
+        assert raised == [] and len(cleared) == 1
+        assert engine.active() == []
+
+    def test_none_fields_leave_state_untouched(self, store):
+        engine = AlertEngine(store, rules=[BatteryLowRule()])
+        engine.observe(0.0, [self.delta(battery_v=3.0)])
+        # A delta without battery data cannot judge: the alert stays.
+        raised, cleared = engine.observe(5.0, [self.delta(battery_v=None)])
+        assert raised == [] and cleared == []
+        assert len(engine.active()) == 1
+
+    def test_silent_node_clears_on_report_but_never_raises(self, store):
+        engine = AlertEngine(store, rules=[SilentNodeRule(max_silence_s=100.0)])
+        # Seed the active alert via the periodic sweep.
+        store.note_batch(1, received_at=0.0, dropped_records=0)
+        engine.evaluate(now=500.0)
+        assert len(engine.active()) == 1
+        # The node reports again: the delta clears the silence alert.
+        raised, cleared = engine.observe(510.0, [self.delta(last_seen=510.0)])
+        assert raised == [] and len(cleared) == 1
+
+    def test_windowed_rules_do_not_participate(self, store):
+        engine = AlertEngine(store, rules=[LowPdrRule()])
+        raised, cleared = engine.observe(
+            0.0, [self.delta(battery_v=3.0, duty_utilisation=0.99, queue_depth=50)]
+        )
+        assert raised == [] and cleared == []
+
+    def test_observe_and_evaluate_compose(self, store):
+        # Both paths share alert state keyed on (rule, node): an alert
+        # raised by observe stays active across a sweep that still sees
+        # the condition in the store, and neither path re-raises it.
+        store.add_status_record(status(node=1, battery=3.1))
+        store.add_status_record(status(node=2, battery=3.0))
+        engine = AlertEngine(store, rules=[BatteryLowRule()])
+        engine.observe(0.0, [self.delta(node=1, battery_v=3.1)])
+        sweep_raised = engine.evaluate(now=1.0)
+        assert {alert.node for alert in sweep_raised} == {2}  # node 1 already active
+        assert {alert.node for alert in engine.active()} == {1, 2}
+        raised, _ = engine.observe(2.0, [self.delta(node=1, battery_v=3.1)])
+        assert raised == []  # still active, not re-raised
+
+    def test_queue_backlog_from_delta(self, store):
+        engine = AlertEngine(store, rules=[QueueBacklogRule(threshold=10)])
+        raised, _ = engine.observe(0.0, [self.delta(queue_depth=15)])
+        assert len(raised) == 1
+        _, cleared = engine.observe(1.0, [self.delta(queue_depth=2)])
+        assert len(cleared) == 1
+
+
+class TestBoundedHistory:
+    def test_history_is_bounded_ring(self, store):
+        engine = AlertEngine(store, rules=[BatteryLowRule()], history_limit=4)
+        for index in range(10):
+            engine.observe(float(index), [NodeDelta(node=1, battery_v=3.0)])
+            engine.observe(float(index) + 0.5, [NodeDelta(node=1, battery_v=4.0)])
+        assert engine.history_len == 4
+        assert engine.alerts_emitted == 10  # cumulative counter survives eviction
+        assert [alert.raised_at for alert in engine.history] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_notification_sinks_fire(self, store):
+        engine = AlertEngine(store, rules=[BatteryLowRule()])
+        raised_seen, cleared_seen = [], []
+        engine.on_raise.append(raised_seen.append)
+        engine.on_clear.append(cleared_seen.append)
+        engine.observe(0.0, [NodeDelta(node=1, battery_v=3.0)])
+        engine.observe(1.0, [NodeDelta(node=1, battery_v=4.0)])
+        assert len(raised_seen) == 1 and len(cleared_seen) == 1
+        assert raised_seen[0] == cleared_seen[0]
+
+    def test_alert_json_shape(self, store):
+        engine = AlertEngine(store, rules=[BatteryLowRule()])
+        [alert], _ = engine.observe(3.0, [NodeDelta(node=7, battery_v=3.0)])
+        assert alert.to_json_dict() == {
+            "rule": "battery_low",
+            "node": 7,
+            "severity": "warning",
+            "message": "battery at 3.00 V",
+            "raised_at": 3.0,
+        }

@@ -1,0 +1,147 @@
+"""Unit tests for SSE framing: format -> parse round-trips and the pump."""
+
+import io
+
+import pytest
+
+from repro.api import StreamEvent, StreamHub, decode_event, encode_event
+from repro.errors import ConfigurationError, DecodeError
+from repro.monitor.stream.sse import (
+    SseParser,
+    format_comment,
+    format_event,
+    format_retry,
+    parse_sse,
+    pump,
+)
+
+
+def event(topic="network:default", event_id=1, type="ingest-delta", at=10.0, data=None):
+    return StreamEvent(
+        topic=topic, event_id=event_id, type=type, at=at,
+        data=data if data is not None else {"node": 3},
+    )
+
+
+class TestEventCodec:
+    def test_encode_is_canonical(self):
+        first = encode_event(event(data={"b": 1, "a": 2}))
+        second = encode_event(event(data={"a": 2, "b": 1}))
+        assert first == second  # sorted keys: one byte representation
+
+    def test_round_trip(self):
+        original = event(data={"node": 3, "accepted_packets": 7})
+        assert decode_event(encode_event(original)) == original
+
+    def test_decode_rejects_wrong_schema(self):
+        payload = encode_event(event()).replace("repro.stream/1", "repro.stream/9")
+        with pytest.raises(DecodeError):
+            decode_event(payload)
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(DecodeError):
+            decode_event(b"\xff\xfe")
+        with pytest.raises(DecodeError):
+            decode_event("not json")
+        with pytest.raises(DecodeError):
+            decode_event("[1, 2]")
+
+
+class TestFramingRoundTrip:
+    def test_single_event_round_trips(self):
+        original = event()
+        frame = format_event(original)
+        [message] = list(parse_sse(frame.splitlines(keepends=True)))
+        assert message.event == "ingest-delta"
+        assert message.id == "1"
+        assert decode_event(message.data) == original
+
+    def test_stream_of_frames_with_heartbeats(self):
+        events = [event(event_id=index) for index in (1, 2, 3)]
+        wire = format_retry(2000) + format_comment()
+        for item in events:
+            wire += format_event(item) + format_comment("keep-alive")
+        parser = SseParser()
+        messages = []
+        for line in io.BytesIO(wire):
+            message = parser.feed(line)
+            if message is not None:
+                messages.append(message)
+        assert [decode_event(m.data) for m in messages] == events
+        assert parser.retry_ms == 2000
+        assert parser.last_event_id == "3"
+
+    def test_multi_line_data_joined_with_newlines(self):
+        parser = SseParser()
+        for line in ["data: first", "data: second", ""]:
+            message = parser.feed(line)
+        assert message.data == "first\nsecond"
+
+    def test_space_after_colon_is_optional(self):
+        parser = SseParser()
+        parser.feed("data:payload")
+        assert parser.feed("").data == "payload"
+
+    def test_non_integer_retry_ignored(self):
+        parser = SseParser()
+        parser.feed("retry: soon")
+        assert parser.retry_ms is None
+
+    def test_comment_then_blank_dispatches_nothing(self):
+        parser = SseParser()
+        assert parser.feed(": keep-alive") is None
+        assert parser.feed("") is None
+
+    def test_parse_sse_dispatches_unterminated_tail(self):
+        lines = ["event: x", "id: 9", "data: {}"]
+        [message] = list(parse_sse(lines))
+        assert message.event == "x" and message.id == "9"
+
+
+class TestPump:
+    def test_pump_writes_retry_then_events(self):
+        hub = StreamHub()
+        subscription = hub.subscribe(["t"])
+        first = hub.publish("t", "ingest-delta", {"n": 1})
+        second = hub.publish("t", "ingest-delta", {"n": 2})
+        buffer = io.BytesIO()
+        written = pump(subscription, buffer, heartbeat_s=0.05, limit=2)
+        assert written == 2
+        wire = buffer.getvalue()
+        assert wire.startswith(b"retry: 2000\n\n")
+        messages = list(parse_sse(io.BytesIO(wire)))
+        assert [decode_event(m.data) for m in messages] == [first, second]
+
+    def test_pump_emits_heartbeat_while_quiet_then_stops_on_close(self):
+        hub = StreamHub()
+        subscription = hub.subscribe(["t"])
+        buffer = io.BytesIO()
+        # No events: one short heartbeat interval, then close ends it.
+        import threading
+
+        def close_soon():
+            hub.close()
+
+        timer = threading.Timer(0.15, close_soon)
+        timer.start()
+        written = pump(subscription, buffer, heartbeat_s=0.05)
+        timer.join()
+        assert written == 0
+        assert b": keep-alive\n\n" in buffer.getvalue()
+
+    def test_pump_survives_broken_pipe(self):
+        hub = StreamHub()
+        subscription = hub.subscribe(["t"])
+        hub.publish("t", "ingest-delta", {})
+
+        class BrokenFile(io.BytesIO):
+            def write(self, data):
+                raise BrokenPipeError("peer went away")
+
+        assert pump(subscription, BrokenFile(), heartbeat_s=0.05, limit=1) == 0
+
+    def test_pump_validates_heartbeat(self):
+        hub = StreamHub()
+        subscription = hub.subscribe(["t"])
+        with pytest.raises(ConfigurationError):
+            pump(subscription, io.BytesIO(), heartbeat_s=0.0)
