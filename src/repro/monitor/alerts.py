@@ -320,6 +320,21 @@ class AlertEngine:
                 self._clear(key)
         return raised
 
+    def evaluate_changes(self, now: float) -> Tuple[List[Alert], List[Alert]]:
+        """Full sweep returning ``(raised, cleared)``.
+
+        Same evaluation as :meth:`evaluate`, but also reports the
+        alerts the sweep cleared — the shape the push pipeline needs to
+        publish ``alert-raised``/``alert-cleared`` stream events from
+        the periodic sweep (matching :meth:`observe`'s return).
+        """
+        before = dict(self._active)
+        raised = self.evaluate(now)
+        cleared = [
+            alert for key, alert in before.items() if key not in self._active
+        ]
+        return raised, cleared
+
     def observe(
         self, now: float, deltas: Iterable["NodeDelta"]
     ) -> Tuple[List[Alert], List[Alert]]:

@@ -24,8 +24,17 @@ how many networks are resident.
 Two documented deviations from the scan-based tiles: delivery counters
 are cumulative since shard creation rather than windowed over
 ``pdr_window_s`` (the parameter is kept for signature compatibility),
-and a cached overview reflects the state as of the last ingest delta —
-no deltas, no change.
+and a cached overview reflects the state as of the last ingest delta
+*or* the last elapsed ``report_interval_s`` time bucket, whichever is
+newer — so liveness-driven health keeps decaying while a fleet is
+silent instead of freezing at its last healthy snapshot.
+
+The aggregates are mutated by the ingest path under the server lock;
+HTTP handler threads therefore read them through
+:meth:`~repro.monitor.server.MonitorServer.materialize_tile` /
+:meth:`~repro.monitor.server.MonitorServer.materialize_tiles`, which
+take the same lock (:func:`materialized_tile` itself is lock-free and
+is only called directly where the lock is already held).
 """
 
 from __future__ import annotations
@@ -332,7 +341,9 @@ def network_tile(
     shard = server.shard_for(network_id)
     if shard is None:
         return None
-    return materialized_tile(shard, now, report_interval_s=report_interval_s)
+    # Through the server so the tile aggregates are read under the same
+    # lock the ingest path mutates them with.
+    return server.materialize_tile(shard, now, report_interval_s=report_interval_s)
 
 
 def fleet_overview(
@@ -353,19 +364,24 @@ def fleet_overview(
 
     The assembled document is cached on the server keyed by ingest
     progress (batches ingested, evictions, resident networks) plus the
-    rendering parameters; steady-state reads between deltas return the
-    cached snapshot in O(1).  Treat the returned document as immutable.
+    rendering parameters *and* a coarse time bucket
+    (``now // report_interval_s``): steady-state reads between deltas
+    return the cached snapshot in O(1), but a cached document never
+    outlives one report interval — a fleet that goes entirely silent
+    keeps re-scoring, so liveness-driven health and the triage list
+    decay instead of freezing.  Treat the returned document as
+    immutable.
     """
     del pdr_window_s
-    key = server.fleet_version() + (report_interval_s, top_n_unhealthy)
+    key = server.fleet_version() + (
+        report_interval_s,
+        top_n_unhealthy,
+        math.floor(now / report_interval_s),
+    )
     cached = server.fleet_cache_get(key)
     if cached is not None:
         return cached
-    shards = sorted(server.registry, key=lambda shard: shard.network_id)
-    tiles = [
-        materialized_tile(shard, now, report_interval_s=report_interval_s)
-        for shard in shards
-    ]
+    tiles = server.materialize_tiles(now, report_interval_s=report_interval_s)
     totals = {
         "networks": len(tiles),
         "nodes": sum(int(tile["nodes"]) for tile in tiles),

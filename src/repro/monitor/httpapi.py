@@ -117,6 +117,10 @@ class MonitoringHttpServer:
         handler = self._make_handler()
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None  # guarded-by: _lock
+        #: Wakes the alert-sweep timer for shutdown; an Event carries
+        #: its own lock, so no class lock is needed around set()/wait().
+        self._sweep_stop = threading.Event()  # guarded-by: threading.Event
+        self._sweep_thread: Optional[threading.Thread] = None  # guarded-by: _lock
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -129,7 +133,14 @@ class MonitoringHttpServer:
         return f"http://{host}:{port}"
 
     def start(self) -> None:
-        """Serve requests on a daemon thread until :meth:`stop` (idempotent)."""
+        """Serve requests on a daemon thread until :meth:`stop` (idempotent).
+
+        Also starts the alert-sweep timer: a daemon thread that runs the
+        monitor server's periodic full-rule alert sweep
+        (:meth:`MonitorServer.maybe_sweep_alerts`) so silent-node and
+        windowed alerts fire — and reach SSE subscribers — even when no
+        ingest traffic arrives to piggyback the sweep on.
+        """
         with self._lock:
             if self._thread is not None:
                 return  # already serving
@@ -137,19 +148,40 @@ class MonitoringHttpServer:
                 target=self._httpd.serve_forever, daemon=True
             )
             self._thread.start()
+            self._sweep_stop.clear()
+            self._sweep_thread = threading.Thread(
+                target=self._sweep_loop, daemon=True
+            )
+            self._sweep_thread.start()
+
+    def _sweep_loop(self) -> None:
+        """Tick the server's alert sweep until :meth:`stop`.
+
+        The tick period is the server's sweep interval; the server
+        itself paces actual sweeps on *its* clock inside
+        ``maybe_sweep_alerts``, so a frozen-clock server (tests, the
+        serve CLI's post-run snapshot) just no-ops each tick.
+        """
+        interval_s = self.monitor_server.alert_sweep_interval_s
+        while not self._sweep_stop.wait(interval_s):
+            self.monitor_server.maybe_sweep_alerts()
 
     def stop(self) -> None:
-        """Shut the serve thread down and release the socket.
+        """Shut the serve and sweep threads down and release the socket.
 
         Idempotent, and safe *before* :meth:`start`: ``shutdown()`` is
         only called when a serve thread actually exists — calling it
         with no ``serve_forever`` running blocks forever on an event
-        that is never set.  The join runs outside the lock (the serve
+        that is never set.  The joins run outside the lock (the serve
         thread never takes it, but keeping joins out of critical
         sections is the house rule — RL101).
         """
         with self._lock:
             thread, self._thread = self._thread, None
+            sweep_thread, self._sweep_thread = self._sweep_thread, None
+        self._sweep_stop.set()
+        if sweep_thread is not None:
+            sweep_thread.join(timeout=5.0)
         if thread is not None:
             self._httpd.shutdown()
             thread.join(timeout=5.0)

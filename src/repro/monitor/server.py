@@ -77,6 +77,7 @@ from repro.monitor.ingest import (
 )
 
 if TYPE_CHECKING:  # public names, for annotations only
+    from repro.monitor.alerts import Alert
     from repro.monitor.codec import Codec
     from repro.monitor.ingest import (
         BackpressurePolicy,
@@ -133,6 +134,7 @@ class MonitorServer:
         max_networks: Optional[int] = None,
         network_queue_quota: Optional[int] = None,
         report_interval_s: float = 60.0,
+        alert_sweep_interval_s: Optional[float] = None,
     ) -> None:
         """Create a server.
 
@@ -158,10 +160,17 @@ class MonitorServer:
                 applies).
             report_interval_s: expected client report interval, used
                 when rendering the fleet tiles published on the stream.
+            alert_sweep_interval_s: minimum spacing between full-rule
+                alert sweeps (see :meth:`sweep_alerts`); defaults to
+                ``report_interval_s``.
         """
         if report_interval_s <= 0:
             raise ConfigurationError(
                 f"report_interval_s must be > 0, got {report_interval_s}"
+            )
+        if alert_sweep_interval_s is not None and alert_sweep_interval_s <= 0:
+            raise ConfigurationError(
+                f"alert_sweep_interval_s must be > 0 or None, got {alert_sweep_interval_s}"
             )
         if queue_capacity is not None and queue_capacity < 1:
             raise ConfigurationError(
@@ -192,6 +201,16 @@ class MonitorServer:
         self.retry_after_s = retry_after_s
         self.network_queue_quota = network_queue_quota
         self.report_interval_s = report_interval_s
+        self.alert_sweep_interval_s = (
+            report_interval_s
+            if alert_sweep_interval_s is None
+            else alert_sweep_interval_s
+        )
+        #: Server clock of the last full-rule alert sweep (None before
+        #: the cadence is anchored by the first maybe_sweep_alerts call).
+        self._last_alert_sweep_at: Optional[float] = None  # guarded-by: _lock
+        #: Full-rule sweeps run over the server's lifetime.
+        self.alert_sweeps = 0  # guarded-by: _lock
         self._queue: Deque[RecordBatch] = deque()  # guarded-by: _lock
         self._transports: List[IngestTransport] = []  # guarded-by: _lock
         #: Push-pipeline fan-out.  The ingest path publishes while
@@ -250,6 +269,35 @@ class MonitorServer:
         """Remember the assembled overview for ``key`` (latest wins)."""
         with self._lock:
             self._fleet_cache = (key, document)
+
+    def materialize_tile(
+        self,
+        shard: NetworkShard,
+        now: float,
+        report_interval_s: float = 60.0,
+    ) -> Dict[str, Any]:
+        """Render ``shard``'s fleet tile under the server lock.
+
+        The tile aggregates are plain dicts the ingest path mutates
+        under the server lock, so handler threads must take the same
+        lock to iterate them (RL100) — otherwise a concurrent ingest
+        can resize a dict mid-iteration.  The ingest path calls
+        :func:`repro.monitor.fleet.materialized_tile` directly because
+        it already holds the lock.
+        """
+        with self._lock:
+            return materialized_tile(shard, now, report_interval_s=report_interval_s)
+
+    def materialize_tiles(
+        self, now: float, report_interval_s: float = 60.0
+    ) -> List[Dict[str, Any]]:
+        """Every resident network's tile, sorted by id, one lock hold."""
+        with self._lock:
+            shards = sorted(self.registry, key=lambda shard: shard.network_id)
+            return [
+                materialized_tile(shard, now, report_interval_s=report_interval_s)
+                for shard in shards
+            ]
 
     # -- admission -----------------------------------------------------------
 
@@ -482,7 +530,74 @@ class MonitorServer:
                 batch = self._queue.popleft()
                 self._uncount_queued(batch)
             results.append(self._ingest(batch))
+        if results:
+            # Opportunistic full-rule sweep riding the ingest cadence
+            # (at most once per alert_sweep_interval_s): catches the
+            # conditions the O(delta) observe path cannot judge — a
+            # *silent* node in an otherwise active fleet, windowed
+            # cross-node rules like low PDR.
+            self.maybe_sweep_alerts()
         return results
+
+    # -- alert sweeping -------------------------------------------------------
+
+    def sweep_alerts(self, now: Optional[float] = None) -> List["Alert"]:
+        """Full-rule sweep over every shard's alert engine; returns raised.
+
+        The ingest path's :meth:`AlertEngine.observe` judges only the
+        node a batch touched, so rules that fire on the *absence* of
+        deltas (silent-node raising) or on cross-node windows (low PDR)
+        need this periodic sweep.  Raised and cleared alerts are
+        published onto the network's stream topic exactly like the
+        observe path's, so SSE subscribers see them live.  Wired in two
+        places: :meth:`drain` calls :meth:`maybe_sweep_alerts` on the
+        ingest cadence, and the HTTP tier runs a timer so a fleet that
+        goes entirely silent still raises; library users driving their
+        own clock can call it directly.
+        """
+        raised_all: List["Alert"] = []
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            self._last_alert_sweep_at = now
+            self.alert_sweeps += 1
+            for shard in self.registry:
+                raised, cleared = shard.alerts.evaluate_changes(now)
+                if not raised and not cleared:
+                    continue
+                topic = network_topic(shard.network_id)
+                for alert in raised:
+                    data = alert.to_json_dict()
+                    data["network"] = shard.network_id
+                    self.stream.publish(topic, "alert-raised", data, at=now)
+                for alert in cleared:
+                    data = alert.to_json_dict()
+                    data["network"] = shard.network_id
+                    data["cleared_at"] = now
+                    self.stream.publish(topic, "alert-cleared", data, at=now)
+                raised_all.extend(raised)
+        return raised_all
+
+    def maybe_sweep_alerts(self, now: Optional[float] = None) -> List["Alert"]:
+        """Run :meth:`sweep_alerts` if the sweep interval elapsed.
+
+        The first call only anchors the cadence (nothing worth sweeping
+        exists before one interval of history).  The elapsed check and
+        the timestamp claim happen atomically under the server lock, so
+        concurrent callers (handler threads, the HTTP sweep timer)
+        cannot double-sweep the same slot.
+        """
+        with self._lock:
+            if now is None:
+                now = self._clock()
+            last = self._last_alert_sweep_at
+            if last is None:
+                self._last_alert_sweep_at = now
+                return []
+            if now - last < self.alert_sweep_interval_s:
+                return []
+            self._last_alert_sweep_at = now  # claim the slot
+        return self.sweep_alerts(now)
 
     # -- processing ----------------------------------------------------------
 
@@ -713,6 +828,8 @@ class MonitorServer:
                     "alerts_emitted": alerts_emitted,
                     "alerts_history_len": alerts_history_len,
                     "alerts_active": alerts_active,
+                    "alert_sweeps": self.alert_sweeps,
+                    "alert_sweep_interval_s": self.alert_sweep_interval_s,
                 }
             )
         # Transports lock themselves; collecting their documents outside

@@ -112,17 +112,34 @@ class StreamSubscription:
     def get(self, timeout: Optional[float] = None) -> Optional[StreamEvent]:
         """Next event, or None on timeout or once the subscription closed.
 
-        Distinguish the two via :attr:`closed`.  Blocks inside
-        ``queue.Queue`` — no hub or subscription lock is held while
-        waiting.
+        ``timeout=None`` (the default) blocks until an event or the
+        close sentinel arrives — the conventional queue meaning; a
+        finite timeout bounds the wait, and :meth:`get_nowait` polls.
+        A None return is either timeout or closure — distinguish via
+        :attr:`closed`.  The wait happens inside ``queue.Queue`` — no
+        hub or subscription lock is held while blocked.
         """
         with self._lock:
             if self._closed:
                 return None
         try:
-            item = self._events.get(timeout=timeout) if timeout is not None else self._events.get_nowait()
+            item = self._events.get(timeout=timeout)
         except queue.Empty:
             return None
+        return self._receive(item)
+
+    def get_nowait(self) -> Optional[StreamEvent]:
+        """Next already-queued event, or None immediately (polling)."""
+        with self._lock:
+            if self._closed:
+                return None
+        try:
+            item = self._events.get_nowait()
+        except queue.Empty:
+            return None
+        return self._receive(item)
+
+    def _receive(self, item: Optional[StreamEvent]) -> Optional[StreamEvent]:
         if item is None:  # close sentinel
             with self._lock:
                 self._closed = True

@@ -98,6 +98,25 @@ class TestFleetOverview:
         in_process = fleet_overview(server, now=NOW)
         assert over_http["totals"] == in_process["totals"]
 
+    def test_overview_decays_without_ingest(self, fleet):
+        # The cache key includes a coarse time bucket: with no ingest
+        # at all, a later `now` still re-renders the document instead of
+        # serving the frozen one, so node liveness can decay.
+        _, server, _ = fleet
+        fresh = fleet_overview(server, now=NOW)
+        later = fleet_overview(server, now=NOW + 100_000.0)
+        assert later["now"] == NOW + 100_000.0
+        fresh_health = {t["network"]: t["health"] for t in fresh["networks"]}
+        decayed = [
+            tile
+            for tile in later["networks"]
+            if fresh_health.get(tile["network"]) is not None
+        ]
+        assert len(decayed) >= N_NETWORKS
+        for tile in decayed:
+            # Liveness (40 % of health) fell to zero for every node.
+            assert tile["health"] < fresh_health[tile["network"]]
+
     def test_fleet_html_page(self, fleet):
         http, _, _ = fleet
         body, _ = get_raw(http, "/fleet")

@@ -110,6 +110,20 @@ class TestEngineState:
         assert len(raised) == 1
         assert len(engine.history) == 2
 
+    def test_evaluate_changes_reports_raised_and_cleared(self, store):
+        store.add_status_record(status(node=1, seq=0, battery=3.0))
+        engine = AlertEngine(store, rules=[BatteryLowRule()])
+        raised, cleared = engine.evaluate_changes(now=0.0)
+        assert [alert.node for alert in raised] == [1]
+        assert cleared == []
+        # Condition persists: neither raised again nor cleared.
+        assert engine.evaluate_changes(now=5.0) == ([], [])
+        store.add_status_record(status(node=1, seq=1, ts=8.0, battery=4.0))
+        raised, cleared = engine.evaluate_changes(now=10.0)
+        assert raised == []
+        assert [alert.node for alert in cleared] == [1]
+        assert engine.active() == []
+
     def test_default_rules_cover_core_conditions(self):
         names = {rule.name for rule in default_rules()}
         assert {"silent_node", "low_pdr", "duty_cycle", "battery_low", "queue_backlog"} <= names

@@ -202,6 +202,8 @@ class TestBackpressure:
             MonitorServer(queue_capacity=0)
         with pytest.raises(ConfigurationError):
             MonitorServer(retry_after_s=0.0)
+        with pytest.raises(ConfigurationError):
+            MonitorServer(alert_sweep_interval_s=0.0)
 
 
 class TestSelfMetrics:
@@ -258,3 +260,80 @@ class TestSelfMetrics:
         assert store.pending_records == 0
         assert server.self_metrics.store_flushes == 1
         store.close()
+
+
+class TestAlertSweep:
+    """The periodic full-rule sweep over the shard alert engines."""
+
+    def drain_events(self, subscription):
+        events = []
+        while True:
+            event = subscription.get_nowait()
+            if event is None:
+                return events
+            events.append(event)
+
+    def test_sweep_raises_silent_node_and_publishes(self):
+        from repro.monitor.stream.events import network_topic
+
+        clock = {"now": 0.0}
+        server = MonitorServer(clock=lambda: clock["now"])
+        server.ingest(batch(packets=[packet_record(seq=0)]))
+        topic = network_topic("default")
+        subscription = server.stream.subscribe([topic])
+        clock["now"] = 1000.0  # silence >> 3 report intervals
+        raised = server.sweep_alerts()
+        assert [(alert.rule, alert.node) for alert in raised] == [("silent_node", 1)]
+        events = self.drain_events(subscription)
+        assert [event.type for event in events] == ["alert-raised"]
+        assert events[0].data["rule"] == "silent_node"
+        assert events[0].data["network"] == "default"
+        assert server.alert_sweeps == 1
+        assert server.self_metrics_document()["alert_sweeps"] == 1
+
+    def test_sweep_publishes_clears(self):
+        from repro.monitor.stream.events import network_topic
+
+        clock = {"now": 0.0}
+        server = MonitorServer(clock=lambda: clock["now"])
+        server.ingest(batch(packets=[packet_record(seq=0)]))
+        clock["now"] = 1000.0
+        assert len(server.sweep_alerts()) == 1
+        # The node reports again: the next sweep clears the silence.
+        topic = network_topic("default")
+        subscription = server.stream.subscribe([topic])
+        server.ingest(batch(batch_seq=1, packets=[packet_record(seq=1)]))
+        server.sweep_alerts()
+        assert server.shard_for("default").alerts.active() == []
+        types = [event.type for event in self.drain_events(subscription)]
+        # The O(delta) observe path may have cleared it at ingest
+        # already; either way exactly one clear reaches the stream.
+        assert types.count("alert-cleared") == 1
+
+    def test_maybe_sweep_paces_on_server_clock(self):
+        clock = {"now": 0.0}
+        server = MonitorServer(
+            clock=lambda: clock["now"], alert_sweep_interval_s=100.0
+        )
+        # The first drain anchors the cadence without sweeping.
+        server.ingest(batch(packets=[packet_record(seq=0)]))
+        assert server.alert_sweeps == 0
+        clock["now"] = 50.0
+        assert server.maybe_sweep_alerts() == []
+        assert server.alert_sweeps == 0  # interval not yet elapsed
+        clock["now"] = 150.0
+        server.maybe_sweep_alerts()
+        assert server.alert_sweeps == 1
+        server.maybe_sweep_alerts()
+        assert server.alert_sweeps == 1  # slot claimed; paced, not per call
+
+    def test_drain_sweeps_on_ingest_cadence(self):
+        clock = {"now": 0.0}
+        server = MonitorServer(clock=lambda: clock["now"])
+        server.ingest(batch(node=1, packets=[packet_record(node=1, seq=0)]))
+        clock["now"] = 500.0
+        server.ingest(batch(node=2, packets=[packet_record(node=2, seq=0)]))
+        # The second batch's drain swept: node 1 fell silent meanwhile.
+        assert server.alert_sweeps == 1
+        active = server.shard_for("default").alerts.active()
+        assert {(alert.rule, alert.node) for alert in active} == {("silent_node", 1)}

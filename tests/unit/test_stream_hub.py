@@ -13,7 +13,7 @@ def drain(subscription):
     """Every event currently queued (non-blocking)."""
     events = []
     while True:
-        event = subscription.get()
+        event = subscription.get_nowait()
         if event is None:
             return events
         events.append(event)
@@ -61,7 +61,7 @@ class TestSubscribe:
         hub.unsubscribe(subscription)
         assert subscription.closed
         hub.publish("t", "ingest-delta", {})
-        assert subscription.get() is None
+        assert subscription.get() is None  # closed: returns without blocking
         assert hub.subscriber_count == 0
 
     def test_get_with_timeout_wakes_on_publish(self):
@@ -78,6 +78,31 @@ class TestSubscribe:
         thread.join(timeout=5.0)
         assert not thread.is_alive()
         assert got[0].data == {"x": 1}
+
+    def test_get_without_timeout_blocks_until_publish(self):
+        hub = StreamHub()
+        subscription = hub.subscribe(["t"])
+        got = []
+
+        def consume():
+            got.append(subscription.get())  # timeout=None: block
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive()  # still waiting: nothing published yet
+        hub.publish("t", "ingest-delta", {"x": 1})
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got[0].data == {"x": 1}
+
+    def test_get_nowait_polls_without_blocking(self):
+        hub = StreamHub()
+        subscription = hub.subscribe(["t"])
+        assert subscription.get_nowait() is None  # empty, not closed
+        assert not subscription.closed
+        hub.publish("t", "ingest-delta", {"x": 1})
+        assert subscription.get_nowait().data == {"x": 1}
 
     def test_invalid_queue_size_rejected(self):
         hub = StreamHub()
