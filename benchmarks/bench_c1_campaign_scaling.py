@@ -22,7 +22,7 @@ from pathlib import Path
 from repro.campaign.aggregate import render_report_json
 from repro.api import CampaignRunner, CampaignSpec
 
-from benchmarks.common import small_monitored_config
+from benchmarks.common import BenchReport, small_monitored_config
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 OUTPUT_PATH = REPO_ROOT / "BENCH_campaign.json"
@@ -67,15 +67,12 @@ def run_scaling():
             and serial_bytes == render_report_json(replay_report)
         )
         return {
-            "schema": "repro.bench.campaign/1",
-            "bench": "C1",
             "campaign": SPEC.name,
             "grid": {
                 "points": SPEC.n_points,
                 "replicates": SPEC.replicates,
                 "runs": SPEC.n_runs,
             },
-            "host": {"cpu_count": os.cpu_count()},
             "timings_s": {
                 "serial_1_worker": round(serial_s, 3),
                 "parallel_4_workers": round(pool_s, 3),
@@ -90,9 +87,17 @@ def run_scaling():
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def _report(results) -> BenchReport:
+    return BenchReport(
+        bench="C1",
+        title="Campaign runner scaling: workers and cache-hit replay",
+        results=results,
+    )
+
+
 def test_c1_campaign_scaling(benchmark):
     results = run_scaling()
-    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _report(results).write(OUTPUT_PATH)
 
     # Determinism: all three executions produced the same report bytes.
     assert results["worker_invariant"]
@@ -116,6 +121,5 @@ def test_c1_campaign_scaling(benchmark):
 
 
 if __name__ == "__main__":
-    payload = run_scaling()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    payload = _report(run_scaling()).write(OUTPUT_PATH)
     print(json.dumps(payload, indent=2, sort_keys=True))

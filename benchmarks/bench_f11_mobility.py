@@ -98,7 +98,7 @@ def test_f11_mobility(benchmark):
     from repro.api import Simulator
     from repro.sim.mobility import RandomWaypointMobility
     from repro.sim.rng import RngRegistry
-    from repro.sim.topology import Placement, make_topology
+    from repro.api import Placement, make_topology
 
     registry = RngRegistry(seed=1)
     sim = Simulator()

@@ -48,7 +48,7 @@ from repro.api import (
     fleet_overview,
 )
 
-from benchmarks.common import emit
+from benchmarks.common import BenchReport, emit
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 OUTPUT_PATH = REPO_ROOT / "BENCH_fleet.json"
@@ -271,8 +271,6 @@ def collect():
     codecs = measure_codecs()
     transports = measure_transports()
     return {
-        "schema": "repro.bench.fleet/1",
-        "bench": "F12",
         "scaling": {
             "records_per_batch": RECORDS_PER_BATCH,
             "batches": N_BATCHES,
@@ -296,8 +294,15 @@ def collect():
             for name, row in codecs.items()
         },
         "transports": transports,
-        "host": {"cpu_count": os.cpu_count()},
     }
+
+
+def _report(results) -> BenchReport:
+    return BenchReport(
+        bench="F12",
+        title="Fleet scaling: sharded ingestion and overview latency",
+        results=results,
+    )
 
 
 def build_report(results):
@@ -346,7 +351,7 @@ def build_report(results):
 def test_f12_fleet_scaling(benchmark):
     results = collect()
     emit(build_report(results))
-    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _report(results).write(OUTPUT_PATH)
 
     assert results["scaling"]["relative_rate_at_8"] >= MIN_RELATIVE_RATE
     assert results["overview"]["fleet_overview_ms"] < 500.0
@@ -378,6 +383,5 @@ def test_f12_fleet_scaling(benchmark):
 
 
 if __name__ == "__main__":
-    payload = collect()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    payload = _report(collect()).write(OUTPUT_PATH)
     print(json.dumps(payload, indent=2, sort_keys=True))

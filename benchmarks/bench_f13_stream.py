@@ -41,7 +41,7 @@ from repro.api import (
     fleet_overview,
 )
 
-from benchmarks.common import emit
+from benchmarks.common import BenchReport, emit
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 OUTPUT_PATH = REPO_ROOT / "BENCH_stream.json"
@@ -194,8 +194,6 @@ def collect():
     fanout = measure_fanout()
     e2e = measure_e2e()
     return {
-        "schema": "repro.bench.stream/1",
-        "bench": "F13",
         "overview": {
             "per_fleet_size": overview,
             "warm_ratio_512_vs_8": round(
@@ -237,10 +235,18 @@ def build_report(results):
     return report
 
 
+def _report(results) -> BenchReport:
+    return BenchReport(
+        bench="F13",
+        title="Push pipeline: cached overview reads, fan-out, e2e latency",
+        results=results,
+    )
+
+
 def test_f13_stream(benchmark):
     results = collect()
     emit(build_report(results))
-    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _report(results).write(OUTPUT_PATH)
 
     warm = results["overview"]["per_fleet_size"]
     assert warm["512"]["warm_us"] <= max(
@@ -265,6 +271,5 @@ def test_f13_stream(benchmark):
 
 
 if __name__ == "__main__":
-    payload = collect()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    payload = _report(collect()).write(OUTPUT_PATH)
     print(json.dumps(payload, indent=2, sort_keys=True))

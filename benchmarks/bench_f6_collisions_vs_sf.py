@@ -9,10 +9,14 @@ success rate at the receiver for SF in {7..12}.
 import random
 
 from repro.analysis.report import ExperimentReport
-from repro.phy.channel import Channel
-from repro.phy.link import LinkModel, PathLossParams
-from repro.api import LoRaParams, Simulator
-from repro.sim.topology import Topology
+from repro.api import (
+    Channel,
+    LinkModel,
+    LoRaParams,
+    PathLossParams,
+    Simulator,
+    Topology,
+)
 
 from benchmarks.common import emit
 
@@ -102,7 +106,7 @@ def test_f6_collisions_vs_sf(benchmark):
     assert cell[(7, 2)] > 0.95
 
     # Benchmark unit: one collision-survival evaluation with 8 interferers.
-    from repro.phy.collision import CollisionModel, FrameOnAir
+    from repro.api import CollisionModel, FrameOnAir
     model = CollisionModel()
     params = LoRaParams(spreading_factor=9)
     target = FrameOnAir(params=params, rssi_dbm=-100.0, start=0.0, end=0.2)

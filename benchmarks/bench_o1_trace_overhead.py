@@ -27,6 +27,8 @@ from pathlib import Path
 from repro.api import Simulator, SpanProfiler
 from repro.sim.trace import TraceLog
 
+from benchmarks.common import BenchReport
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
 OUTPUT_PATH = REPO_ROOT / "BENCH_obs.json"
 
@@ -113,8 +115,6 @@ def run_overhead():
     old_ns_per_emit = 1e9 * (time.perf_counter() - started) / n_old
 
     return {
-        "schema": "repro.bench.obs/1",
-        "bench": "O1",
         "engine": {
             "events": N_EVENTS,
             "repeats": REPEATS,
@@ -137,9 +137,17 @@ def run_overhead():
     }
 
 
+def _report(results) -> BenchReport:
+    return BenchReport(
+        bench="O1",
+        title="Observability overhead: disabled profiler and trace eviction",
+        results=results,
+    )
+
+
 def test_o1_trace_overhead(benchmark):
     results = run_overhead()
-    OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    _report(results).write(OUTPUT_PATH)
 
     # The disabled-profiler contract: within 3 % of no profiler at all.
     assert results["engine"]["disabled_overhead"] <= MAX_DISABLED_OVERHEAD
@@ -152,6 +160,5 @@ def test_o1_trace_overhead(benchmark):
 
 
 if __name__ == "__main__":
-    payload = run_overhead()
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    payload = _report(run_overhead()).write(OUTPUT_PATH)
     print(json.dumps(payload, indent=2, sort_keys=True))

@@ -23,11 +23,16 @@ bench); the shapes they demonstrate are stable across longer runs.
 from __future__ import annotations
 
 import atexit
+import json
 import os
+import platform
 import sys
 import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Mapping
 
+from repro import __version__
 from repro.campaign.hashing import config_digest
 from repro.api import (
     CampaignRunner,
@@ -38,6 +43,9 @@ from repro.api import (
     WorkloadSpec,
     run_scenario,
 )
+
+#: Versioned envelope every ``BENCH_*.json`` artifact is wrapped in.
+BENCH_SCHEMA = "repro.bench/1"
 
 #: Cache so parametrised benches that need the same scenario reuse one run,
 #: keyed by the full-config content hash (every field participates).
@@ -101,6 +109,98 @@ def emit(report) -> None:
     print()
     print(report.render())
     sys.stdout.flush()
+
+
+@dataclass
+class BenchReport:
+    """Shared writer for the versioned ``BENCH_*.json`` artifact format.
+
+    Every bench that persists machine-readable results wraps them in one
+    ``repro.bench/1`` envelope: schema name, bench id/title, the code
+    version that produced the numbers, host facts (so a regression seen in
+    CI can be told apart from a slower machine), and the bench-specific
+    ``results`` payload.  :func:`validate_bench_report` is the drift
+    gate — a validator test runs it over every committed artifact.
+    """
+
+    bench: str
+    title: str
+    results: Mapping[str, Any]
+    #: extra top-level facts a bench wants to pin (e.g. guardrail knobs).
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def envelope(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "schema": BENCH_SCHEMA,
+            "bench": self.bench,
+            "title": self.title,
+            "code_version": __version__,
+            "host": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "cpu_count": os.cpu_count(),
+            },
+            "results": dict(self.results),
+        }
+        for key, value in self.extra.items():
+            payload[key] = value
+        return payload
+
+    def write(self, path: Path) -> Dict[str, Any]:
+        """Serialise the envelope to ``path`` (stable key order) and
+        return it."""
+        payload = self.envelope()
+        errors = validate_bench_report(payload)
+        if errors:
+            raise ValueError(f"refusing to write invalid bench report: {errors}")
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return payload
+
+
+#: keys every repro.bench/1 envelope must carry, with their types.
+_ENVELOPE_FIELDS = {
+    "schema": str,
+    "bench": str,
+    "title": str,
+    "code_version": str,
+    "host": dict,
+    "results": dict,
+}
+
+_HOST_FIELDS = {"platform": str, "python": str, "cpu_count": int}
+
+
+def validate_bench_report(payload: Any) -> List[str]:
+    """Check one artifact against the ``repro.bench/1`` envelope.
+
+    Returns a list of human-readable problems (empty = valid).
+    """
+    errors: List[str] = []
+    if not isinstance(payload, Mapping):
+        return [f"payload is {type(payload).__name__}, expected a mapping"]
+    for key, expected in _ENVELOPE_FIELDS.items():
+        if key not in payload:
+            errors.append(f"missing required key {key!r}")
+        elif not isinstance(payload[key], expected):
+            errors.append(
+                f"{key!r} is {type(payload[key]).__name__}, expected {expected.__name__}"
+            )
+    schema = payload.get("schema")
+    if isinstance(schema, str) and schema != BENCH_SCHEMA:
+        errors.append(f"schema is {schema!r}, expected {BENCH_SCHEMA!r}")
+    host = payload.get("host")
+    if isinstance(host, Mapping):
+        for key, expected in _HOST_FIELDS.items():
+            if key not in host:
+                errors.append(f"host missing {key!r}")
+            elif not isinstance(host[key], expected):
+                errors.append(
+                    f"host[{key!r}] is {type(host[key]).__name__}, "
+                    f"expected {expected.__name__}"
+                )
+    if isinstance(payload.get("results"), Mapping) and not payload["results"]:
+        errors.append("results is empty")
+    return errors
 
 
 def small_monitored_config(**overrides) -> ScenarioConfig:

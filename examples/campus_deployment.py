@@ -16,7 +16,7 @@ Run:
 
 from repro.monitor import health, metrics
 from repro.api import Dashboard, Scenario, ScenarioConfig, WorkloadSpec
-from repro.sim.topology import Placement
+from repro.api import Placement
 from repro.workloads.generators import BurstyWorkload, EventWorkload, PeriodicWorkload
 
 

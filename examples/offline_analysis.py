@@ -27,7 +27,7 @@ from repro.monitor.export import (
     import_jsonl,
 )
 from repro.api import ScenarioConfig, WorkloadSpec, run_scenario
-from repro.sim.topology import Placement
+from repro.api import Placement
 
 
 def main() -> None:

@@ -17,6 +17,13 @@ The facade is organised by layer:
 
 * **Simulation** — :class:`Simulator`, :class:`MeshConfig`,
   :class:`LoRaParams`, :func:`time_on_air`.
+* **PHY / propagation seam** — :class:`Channel` (keyword-only
+  ``reachability=`` / ``config=`` construction), :class:`ChannelConfig`,
+  the :class:`PropagationModel` and :class:`ReachabilityIndex` protocols
+  with their stock implementations (:class:`LinkModel`,
+  :class:`GridReachabilityIndex`, :class:`BruteForceReachability`,
+  :class:`LinkBudgetCache`), :class:`CollisionModel`, and the topology
+  types (:class:`Topology`, :class:`Placement`, :func:`make_topology`).
 * **Scenarios** — :func:`run_scenario`, :class:`Scenario`,
   :class:`ScenarioConfig`, :class:`ScenarioResult`, :class:`GroundTruth`,
   workload/mobility/fault specs.
@@ -93,6 +100,16 @@ from repro.obs.ndjson import export_trace, read_trace, replay_into_recorder
 from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import SpanProfiler
 from repro.phy import LoRaParams, time_on_air
+from repro.phy.channel import Channel, ChannelConfig, Reception
+from repro.phy.collision import CollisionModel, FrameOnAir
+from repro.phy.link import LinkModel, PathLossParams
+from repro.phy.reachability import (
+    BruteForceReachability,
+    GridReachabilityIndex,
+    LinkBudgetCache,
+    PropagationModel,
+    ReachabilityIndex,
+)
 from repro.scenario.config import MobilitySpec, MonitorMode, ScenarioConfig, WorkloadSpec
 from repro.scenario.faults import (
     BatteryDepletion,
@@ -103,6 +120,7 @@ from repro.scenario.faults import (
 from repro.scenario.results import GroundTruth, ScenarioResult
 from repro.scenario.runner import Scenario, run_scenario
 from repro.sim import Simulator
+from repro.sim.topology import Placement, Topology, make_topology
 
 __all__ = [
     # version / errors
@@ -112,6 +130,22 @@ __all__ = [
     "Simulator",
     "LoRaParams",
     "time_on_air",
+    # PHY / propagation seam
+    "Channel",
+    "ChannelConfig",
+    "Reception",
+    "CollisionModel",
+    "FrameOnAir",
+    "LinkModel",
+    "PathLossParams",
+    "PropagationModel",
+    "ReachabilityIndex",
+    "GridReachabilityIndex",
+    "BruteForceReachability",
+    "LinkBudgetCache",
+    "Topology",
+    "Placement",
+    "make_topology",
     "MeshConfig",
     "MeshNode",
     "Packet",

@@ -37,6 +37,21 @@ _FACADE_NAMES: FrozenSet[str] = frozenset(
         "Simulator",
         "LoRaParams",
         "time_on_air",
+        "Channel",
+        "ChannelConfig",
+        "Reception",
+        "CollisionModel",
+        "FrameOnAir",
+        "LinkModel",
+        "PathLossParams",
+        "PropagationModel",
+        "ReachabilityIndex",
+        "GridReachabilityIndex",
+        "BruteForceReachability",
+        "LinkBudgetCache",
+        "Topology",
+        "Placement",
+        "make_topology",
         "MeshConfig",
         "MeshNode",
         "Packet",

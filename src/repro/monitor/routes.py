@@ -447,5 +447,23 @@ def render_api_markdown() -> str:
     for route in ROUTES:
         if route.kind == "ui":
             lines.append(f"- `{route.method} {route.pattern}` — {route.summary}")
+    lines.extend(
+        [
+            "",
+            "## Python facade",
+            "",
+            "The supported in-process surface is `repro.api`; everything below is",
+            "importable from there and covered by the compatibility promise",
+            "(lint rule RL007 flags deep imports of these names from tests,",
+            "benchmarks and examples):",
+            "",
+        ]
+    )
+    # Imported here: repro.api pulls in the whole stack (including this
+    # module), so a top-level import would be a cycle.
+    import repro.api
+
+    for name in repro.api.__all__:
+        lines.append(f"- `{name}`")
     lines.append("")
     return "\n".join(lines)

@@ -106,6 +106,9 @@ class _TxAttempt:
     next_hop: Optional[int]
     #: outcomes keyed by receiving node: "rx" | "collision" | "below_sensitivity" | "rx_missed"
     outcomes: Dict[int, str] = field(default_factory=dict)
+    #: receivers folded into an aggregated ``phy.below_sensitivity`` event
+    #: (node=None, count=N) when the channel traces at fleet scale.
+    below_count: int = 0
 
 
 @dataclass
@@ -352,7 +355,13 @@ class FlightRecorder:
                 self._link(node, attempt.next_hop).tx += 1
             return
         attempt = self._tx_attempt.get(tx_id)
-        if attempt is None or node is None:
+        if attempt is None:
+            return
+        if node is None:
+            # Aggregated sub-sensitivity event: no per-node outcome, but the
+            # count still witnesses that the frame found no listener there.
+            if kind == "phy.below_sensitivity":
+                attempt.below_count += int(data.get("count", 0))
             return
         outcome = kind[len("phy."):]
         attempt.outcomes[node] = outcome
@@ -438,7 +447,10 @@ class FlightRecorder:
                 outcomes = set(last.outcomes.values())
                 if "collision" in outcomes:
                     evidence.append((last.time, VERDICT_COLLISION))
-                elif outcomes and outcomes <= {"below_sensitivity", "rx_missed"}:
+                elif (outcomes or last.below_count) and outcomes <= {
+                    "below_sensitivity",
+                    "rx_missed",
+                }:
                     evidence.append((last.time, VERDICT_NO_ROUTE))
         if not evidence:
             return VERDICT_IN_FLIGHT

@@ -18,6 +18,7 @@ is the coding-rate index 1..4.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 from repro.errors import ConfigurationError
 from repro.phy.params import LoRaParams
@@ -63,6 +64,18 @@ def payload_symbols(params: LoRaParams, payload_bytes: int) -> int:
 def time_on_air(params: LoRaParams, payload_bytes: int) -> float:
     """Total frame duration in seconds for a payload of ``payload_bytes``."""
     return preamble_time(params) + payload_symbols(params, payload_bytes) * symbol_time(params)
+
+
+@lru_cache(maxsize=4096)
+def cached_time_on_air(params: LoRaParams, payload_bytes: int) -> float:
+    """Memoised :func:`time_on_air`.
+
+    ``LoRaParams`` is frozen/hashable and a simulation uses only a handful
+    of (params, payload length) combinations, so the hot channel path hits
+    this table instead of redoing the ceil-division symbol arithmetic per
+    frame.  Values are bit-identical to :func:`time_on_air`.
+    """
+    return time_on_air(params, payload_bytes)
 
 
 def max_payload_for_airtime(params: LoRaParams, budget_s: float) -> int:

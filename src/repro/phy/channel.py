@@ -3,8 +3,10 @@
 The :class:`Channel` is the broadcast medium connecting all simulated radios.
 On each transmission it
 
-1. computes per-receiver RSSI from the link model,
-2. snapshots which nodes are listening when the preamble starts,
+1. asks its :class:`~repro.phy.reachability.ReachabilityIndex` which nodes
+   could plausibly detect the frame (everyone else is provably below the
+   CAD-detection threshold and is skipped),
+2. snapshots which candidate nodes are listening when the preamble starts,
 3. schedules a delivery evaluation at frame end, where the collision model
    decides — per receiver — whether the frame survived all overlapping
    transmissions,
@@ -15,27 +17,99 @@ Nodes attach with two callbacks: ``on_receive`` (invoked with a
 :class:`Reception`) and ``is_listening`` (polled to decide whether the radio
 could hear the preamble).  Half-duplex is enforced: a node whose own
 transmission overlaps an incoming frame never receives it.
+
+Hot-path structure (see ``docs/ARCHITECTURE.md``, "PHY hot path"): RSSI is
+computed lazily per (frame, receiver) on first use, backed by the shared
+:class:`~repro.phy.reachability.LinkBudgetCache`; overlap queries go
+through a slot map keyed by coarse time buckets instead of scanning every
+active/recent frame; recently finished frames are pruned incrementally
+from a deque.  Because the link model's randomness is counter-based and
+bounded (:mod:`repro.phy.link`), the produced trace stream is identical
+whichever reachability index is plugged in — the brute-force index remains
+available as the reference oracle.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Deque, Dict, List, Optional, Set
 
 from repro.errors import ConfigurationError
-from repro.phy.airtime import time_on_air
+from repro.phy.airtime import cached_time_on_air
 from repro.phy.collision import CollisionModel, FrameOnAir
-from repro.phy.link import LinkModel
+from repro.phy.link import sensitivity_dbm
 from repro.phy.params import LoRaParams
+from repro.phy.reachability import (
+    GridReachabilityIndex,
+    LinkBudgetCache,
+    PropagationModel,
+    ReachabilityIndex,
+)
 from repro.sim.engine import Simulator
 from repro.sim.topology import Topology
 from repro.sim.trace import TraceLog
 
+#: Valid values for :attr:`ChannelConfig.sub_sensitivity_trace`.
+SUB_SENSITIVITY_MODES = ("auto", "per_node", "aggregate")
 
-@dataclass
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Tuning knobs for the channel's tracing and bookkeeping.
+
+    Attributes:
+        sub_sensitivity_trace: how ``phy.below_sensitivity`` is emitted.
+            ``"per_node"`` keeps the classic one-event-per-non-receiver
+            stream; ``"aggregate"`` emits a single per-frame event carrying
+            ``count`` (``node=None``), which keeps trace volume O(delta)
+            at fleet scale; ``"auto"`` picks per-node for meshes up to
+            :attr:`per_node_trace_max_nodes` nodes and aggregate above.
+            Delivery verdicts (``phy.rx``/``phy.collision``/
+            ``phy.rx_missed``) are identical in every mode.
+        per_node_trace_max_nodes: mesh size threshold used by ``"auto"``.
+        recent_horizon_s: how long finished frames are retained as
+            potential interferers for frames that overlapped them.
+        slot_width_s: width of the coarse time buckets used by the overlap
+            slot map; purely a performance knob (results are identical for
+            any positive value).
+    """
+
+    sub_sensitivity_trace: str = "auto"
+    per_node_trace_max_nodes: int = 64
+    recent_horizon_s: float = 30.0
+    slot_width_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sub_sensitivity_trace not in SUB_SENSITIVITY_MODES:
+            raise ConfigurationError(
+                f"sub_sensitivity_trace must be one of {SUB_SENSITIVITY_MODES}, "
+                f"got {self.sub_sensitivity_trace!r}"
+            )
+        if self.per_node_trace_max_nodes < 0:
+            raise ConfigurationError(
+                f"per_node_trace_max_nodes must be >= 0, got {self.per_node_trace_max_nodes}"
+            )
+        if self.recent_horizon_s <= 0:
+            raise ConfigurationError(
+                f"recent_horizon_s must be > 0, got {self.recent_horizon_s}"
+            )
+        if self.slot_width_s <= 0:
+            raise ConfigurationError(
+                f"slot_width_s must be > 0, got {self.slot_width_s}"
+            )
+
+
+@dataclass(eq=False)
 class Transmission:
-    """One frame in flight on the medium."""
+    """One frame in flight on the medium.
+
+    ``rssi_at`` is populated lazily: a receiver's RSSI is computed on
+    first use (delivery evaluation, interference accounting) rather than
+    for every node up front.  Identity equality (``eq=False``) — two
+    distinct frames are never "the same frame".
+    """
 
     tx_id: int
     sender: int
@@ -44,9 +118,14 @@ class Transmission:
     payload_bytes: int
     start: float
     end: float
-    #: RSSI of this frame at every other node, drawn once at start.
+    #: RSSI of this frame per node, filled in on demand.
     rssi_at: Dict[int, float] = field(default_factory=dict)
-    #: Nodes that were listening (radio in RX, not transmitting) at start.
+    #: Attached nodes that were listening (radio in RX, not transmitting)
+    #: at start.  Sampled over every attached node, not just the sender's
+    #: candidate set: reception is decided against frame-*end* geometry, so
+    #: under mid-flight mobility a node outside the start-time candidate set
+    #: can still become a receiver — its listening state must have been
+    #: recorded for both index flavours to agree.
     listeners_at_start: Set[int] = field(default_factory=set)
 
     def as_frame(self, receiver: int) -> FrameOnAir:
@@ -86,9 +165,12 @@ class Channel:
         self,
         sim: Simulator,
         topology: Topology,
-        link_model: LinkModel,
+        link_model: PropagationModel,
         collision_model: Optional[CollisionModel] = None,
         trace: Optional[TraceLog] = None,
+        *,
+        reachability: Optional[ReachabilityIndex] = None,
+        config: Optional[ChannelConfig] = None,
     ) -> None:
         self._sim = sim
         self._topology = topology
@@ -96,9 +178,27 @@ class Channel:
         self._collisions = collision_model or CollisionModel()
         # Explicit None check: an empty TraceLog is falsy (it has __len__).
         self._trace = trace if trace is not None else TraceLog()
+        self._config = config if config is not None else ChannelConfig()
+        self._budget = LinkBudgetCache(topology, link_model)
+        self._reachability: ReachabilityIndex = (
+            reachability if reachability is not None else GridReachabilityIndex()
+        )
+        self._reachability.bind(topology, link_model, self._budget, self.CAD_MARGIN_DB)
+        mode = self._config.sub_sensitivity_trace
+        if mode == "auto":
+            self._per_node_trace = (
+                len(topology.positions) <= self._config.per_node_trace_max_nodes
+            )
+        else:
+            self._per_node_trace = mode == "per_node"
         self._tx_ids = itertools.count(1)
         self._active: List[Transmission] = []
-        self._recent: List[Transmission] = []
+        #: Finished frames kept as interferers, in completion (= end) order.
+        self._recent: Deque[Transmission] = deque()
+        #: Coarse time bucket -> frames whose air interval touches it.
+        self._slots: Dict[int, List[Transmission]] = {}
+        #: Per-sender frames within the horizon (half-duplex lookups).
+        self._by_sender: Dict[int, Deque[Transmission]] = {}
         self._on_receive: Dict[int, Callable[[Reception], None]] = {}
         self._is_listening: Dict[int, Callable[[], bool]] = {}
 
@@ -111,8 +211,22 @@ class Channel:
         return self._topology
 
     @property
-    def link_model(self) -> LinkModel:
+    def link_model(self) -> PropagationModel:
         return self._link
+
+    @property
+    def reachability(self) -> ReachabilityIndex:
+        """The plugged-in candidate-receiver index (stats live here)."""
+        return self._reachability
+
+    @property
+    def budget(self) -> LinkBudgetCache:
+        """The shared static link-budget cache."""
+        return self._budget
+
+    @property
+    def config(self) -> ChannelConfig:
+        return self._config
 
     def attach(
         self,
@@ -143,23 +257,28 @@ class Channel:
 
         Used by the CSMA MAC.  Detection uses sensitivity minus a small CAD
         margin; frames below that are invisible, which reproduces the hidden
-        terminal problem.
+        terminal problem.  Nodes outside a frame's candidate set are below
+        that threshold by construction and are skipped without computing
+        RSSI at all.
         """
-        from repro.phy.link import sensitivity_dbm
-
         for tx in self._active:
             if tx.sender == address:
                 return True
+            if address not in self._reachability.candidates(tx.sender, tx.params):
+                continue
             rssi = tx.rssi_at.get(address)
             if rssi is None:
-                continue
+                # Peek without caching: whether this path runs can depend on
+                # the index flavour, and a cached value would freeze the
+                # pre-mobility geometry in one flavour but not the other.
+                rssi = self._compute_rssi(tx, address)
             if rssi >= sensitivity_dbm(tx.params) - self.CAD_MARGIN_DB:
                 return True
         return False
 
     def airtime(self, params: LoRaParams, payload_bytes: int) -> float:
         """Frame duration for these settings (convenience passthrough)."""
-        return time_on_air(params, payload_bytes)
+        return cached_time_on_air(params, payload_bytes)
 
     def transmit(
         self,
@@ -178,7 +297,7 @@ class Channel:
             The in-flight :class:`Transmission` (mainly for tests).
         """
         now = self._sim.now
-        end = now + time_on_air(params, payload_bytes)
+        end = now + cached_time_on_air(params, payload_bytes)
         tx = Transmission(
             tx_id=next(self._tx_ids),
             sender=sender,
@@ -188,17 +307,15 @@ class Channel:
             start=now,
             end=end,
         )
-        for node in self._topology.nodes():
-            if node == tx.sender:
-                continue
-            distance = self._topology.distance(tx.sender, node)
-            tx.rssi_at[node] = self._link.received_power_dbm(
-                params.tx_power_dbm, distance, tx.sender, node
-            )
-            listener = self._is_listening.get(node)
-            if listener is not None and listener():
+        # Listening state is time-dependent and cannot be reconstructed
+        # later, so it is sampled for *every* attached node — not just the
+        # current candidate set, which a mid-flight move can grow.
+        for node, listener in self._is_listening.items():
+            if node != sender and listener():
                 tx.listeners_at_start.add(node)
         self._active.append(tx)
+        self._register_slots(tx)
+        self._by_sender.setdefault(sender, deque()).append(tx)
         # Thread the network-wide packet identity into the PHY event stream
         # so the flight recorder can stitch phy.tx/rx/collision (keyed by
         # tx_id) back to the mesh packet that was on the air.
@@ -226,54 +343,124 @@ class Channel:
         self._sim.call_at(end, lambda: self._complete(tx), priority=-1)
         return tx
 
-    def _overlapping(self, tx: Transmission) -> List[Transmission]:
-        """All other transmissions whose air interval overlaps ``tx``."""
-        return [
-            other
-            for other in itertools.chain(self._active, self._recent)
-            if other.tx_id != tx.tx_id and tx.start < other.end and other.start < tx.end
-        ]
+    # -- lazy RSSI ----------------------------------------------------------
 
-    def _own_tx_overlaps(self, node: int, tx: Transmission) -> bool:
-        """Whether ``node`` transmitted at any point during ``tx`` (half-duplex)."""
-        return any(
-            other.sender == node and tx.start < other.end and other.start < tx.end
-            for other in itertools.chain(self._active, self._recent)
-            if other.tx_id != tx.tx_id
+    def _compute_rssi(self, tx: Transmission, node: int) -> float:
+        """RSSI of ``tx`` at ``node``: cached static budget plus the
+        derived per-frame fading term (keyed by ``tx_id``, so the value is
+        independent of when or whether any other receiver was evaluated)."""
+        return (
+            tx.params.tx_power_dbm
+            - self._budget.loss_db(tx.sender, node)
+            + self._link.fading_db(tx.sender, node, tx.tx_id)
         )
 
+    def _rssi(self, tx: Transmission, node: int) -> float:
+        rssi = tx.rssi_at.get(node)
+        if rssi is None:
+            rssi = self._compute_rssi(tx, node)
+            tx.rssi_at[node] = rssi
+        return rssi
+
+    # -- overlap bookkeeping -------------------------------------------------
+
+    def _slot_range(self, tx: Transmission) -> range:
+        width = self._config.slot_width_s
+        return range(int(tx.start // width), int(tx.end // width) + 1)
+
+    def _register_slots(self, tx: Transmission) -> None:
+        for slot in self._slot_range(tx):
+            self._slots.setdefault(slot, []).append(tx)
+
+    def _unregister_slots(self, tx: Transmission) -> None:
+        for slot in self._slot_range(tx):
+            bucket = self._slots.get(slot)
+            if bucket is None:
+                continue
+            bucket.remove(tx)
+            if not bucket:
+                del self._slots[slot]
+
+    def _overlapping(self, tx: Transmission) -> List[Transmission]:
+        """All other transmissions whose air interval overlaps ``tx``,
+        in ascending ``tx_id`` (= start) order."""
+        seen = {tx.tx_id}
+        out: List[Transmission] = []
+        for slot in self._slot_range(tx):
+            for other in self._slots.get(slot, ()):
+                if other.tx_id in seen:
+                    continue
+                if tx.start < other.end and other.start < tx.end:
+                    seen.add(other.tx_id)
+                    out.append(other)
+        out.sort(key=lambda other: other.tx_id)
+        return out
+
+    def _own_tx_overlaps(self, node: int, tx: Transmission) -> bool:
+        """Whether ``node`` transmitted at any point during ``tx``
+        (half-duplex), via the per-sender deque instead of a global scan."""
+        frames = self._by_sender.get(node)
+        if not frames:
+            return False
+        horizon = self._sim.now - self._config.recent_horizon_s
+        while frames and frames[0].end < horizon:
+            frames.popleft()
+        return any(
+            other.tx_id != tx.tx_id and tx.start < other.end and other.start < tx.end
+            for other in frames
+        )
+
+    # -- delivery evaluation --------------------------------------------------
+
     def _complete(self, tx: Transmission) -> None:
-        """Frame end: decide reception at every node and clean up."""
+        """Frame end: decide reception at every relevant node and clean up."""
         self._active.remove(tx)
         self._recent.append(tx)
         # Keep recently finished frames long enough to serve as interferers
-        # for anything that overlapped them.
-        horizon = self._sim.now - 30.0
-        self._recent = [t for t in self._recent if t.end >= horizon]
+        # for anything that overlapped them; prune incrementally (the deque
+        # is in completion order, so expired frames sit at the left end).
+        horizon = self._sim.now - self._config.recent_horizon_s
+        while self._recent and self._recent[0].end < horizon:
+            self._unregister_slots(self._recent.popleft())
 
         overlapping = self._overlapping(tx)
-        for node in self._topology.nodes():
+        candidates = self._reachability.candidates(tx.sender, tx.params)
+        per_node = self._per_node_trace
+        if per_node:
+            nodes = self._topology.nodes()
+        else:
+            nodes = sorted(candidates)
+        below_count = 0
+        n_evaluated = 0
+        for node in nodes:
             if node == tx.sender:
                 continue
             handler = self._on_receive.get(node)
             if handler is None:
                 continue
-            rssi = tx.rssi_at[node]
+            n_evaluated += 1
+            rssi = self._rssi(tx, node)
             if not self._link.is_receivable(rssi, tx.params):
-                self._trace.emit(
-                    self._sim.now, "phy.below_sensitivity", node=node, tx_id=tx.tx_id, rssi=rssi
-                )
+                if per_node:
+                    self._trace.emit(
+                        self._sim.now, "phy.below_sensitivity", node=node, tx_id=tx.tx_id, rssi=rssi
+                    )
+                else:
+                    below_count += 1
                 continue
             if node not in tx.listeners_at_start or self._own_tx_overlaps(node, tx):
                 self._trace.emit(self._sim.now, "phy.rx_missed", node=node, tx_id=tx.tx_id)
                 continue
             # Frames the node itself sent do not appear at the antenna as
-            # interference (it was not listening then anyway).
-            interferers = [
-                other.as_frame(node)
-                for other in overlapping
-                if other.sender != node and node in other.rssi_at
-            ]
+            # interference (it was not listening then anyway).  Every
+            # overlapping frame counts as an interferer regardless of its
+            # sender's candidate set — its RSSI here is computed on demand.
+            interferers = []
+            for other in overlapping:
+                if other.sender == node:
+                    continue
+                self._rssi(other, node)
+                interferers.append(other.as_frame(node))
             if not self._collisions.survives(tx.as_frame(node), interferers):
                 self._trace.emit(
                     self._sim.now,
@@ -300,3 +487,13 @@ class Channel:
                     end=tx.end,
                 )
             )
+        if not per_node:
+            # Attached nodes outside the candidate set are below the
+            # detection threshold by construction; fold them into the
+            # aggregate count so ground-truth totals match per-node mode.
+            n_eligible = len(self._on_receive) - (1 if tx.sender in self._on_receive else 0)
+            below_count += n_eligible - n_evaluated
+            if below_count:
+                self._trace.emit(
+                    self._sim.now, "phy.below_sensitivity", tx_id=tx.tx_id, count=below_count
+                )

@@ -20,7 +20,7 @@ transmissions destroy each other at a given receiver?" into four conditions:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.phy.airtime import symbol_time
 from repro.phy.params import LoRaParams
@@ -71,6 +71,9 @@ class CollisionModel:
         self.capture_threshold_db = capture_threshold_db
         self.cross_sf_rejection_db = cross_sf_rejection_db
         self.critical_preamble_symbols = critical_preamble_symbols
+        # Preamble-lock offset per modulation params; the channel hot path
+        # evaluates this per interferer, LoRaParams is frozen/hashable.
+        self._locked_after: Dict[LoRaParams, float] = {}
 
     def frequency_overlap(self, a: LoRaParams, b: LoRaParams) -> bool:
         """Whether two carriers are close enough to interact.
@@ -89,9 +92,15 @@ class CollisionModel:
 
     def _critical_section_start(self, frame: FrameOnAir) -> float:
         """Time after which interference prevents preamble lock."""
-        t_sym = symbol_time(frame.params)
-        locked_after = (frame.params.preamble_symbols - self.critical_preamble_symbols) * t_sym
-        return frame.start + max(locked_after, 0.0)
+        locked_after = self._locked_after.get(frame.params)
+        if locked_after is None:
+            t_sym = symbol_time(frame.params)
+            locked_after = max(
+                (frame.params.preamble_symbols - self.critical_preamble_symbols) * t_sym,
+                0.0,
+            )
+            self._locked_after[frame.params] = locked_after
+        return frame.start + locked_after
 
     def survives(self, frame: FrameOnAir, interferers: Sequence[FrameOnAir]) -> bool:
         """Whether ``frame`` is correctly received despite ``interferers``.

@@ -11,14 +11,26 @@ Bor/Roedig LoRaSim measurements; urban deployments use a steeper exponent.
 Sensitivity per spreading factor follows the SX1276 datasheet (BW = 125 kHz);
 demodulation additionally requires the SNR to exceed the per-SF floor
 (-7.5 dB at SF7 down to -20 dB at SF12).
+
+Randomness here is *counter-based*: the static shadowing of a link and the
+per-frame fast fading are derived by hashing ``(model seed, link, frame)``
+rather than drawn sequentially from a shared stream.  Any consumer asking
+for any subset of links in any order sees the same values — which is what
+lets the spatial-index channel (:mod:`repro.phy.reachability`) skip
+hopeless receivers entirely and still produce a trace stream identical to
+the brute-force oracle.  Derived draws are clamped to ±4σ so culling
+bounds are sound (and 30 dB shadowing *gains* do not appear, which they
+would not in the field either).
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.phy.params import LoRaParams
@@ -55,11 +67,14 @@ def noise_floor_dbm(bandwidth_hz: int) -> float:
     return -174.0 + 10.0 * math.log10(bandwidth_hz) + NOISE_FIGURE_DB
 
 
+@lru_cache(maxsize=256)
 def sensitivity_dbm(params: LoRaParams) -> float:
     """Receiver sensitivity for the given modulation settings.
 
     Scales the 125 kHz datasheet figure by the bandwidth ratio (3 dB per
     doubling), matching how LoRaSim derives its sensitivity matrix.
+    Memoised: ``LoRaParams`` is frozen and the channel hot path consults
+    this per frame.
     """
     base = SENSITIVITY_DBM[params.spreading_factor]
     return base + 10.0 * math.log10(params.bandwidth_hz / 125_000.0)
@@ -105,37 +120,87 @@ class PathLossParams:
         return PathLossParams(pl0_db=91.22, d0_m=40.0, exponent=2.0, shadowing_sigma_db=1.0)
 
 
+#: Derived (counter-based) Gaussian draws are clamped to this many sigmas;
+#: culling headrooms in :mod:`repro.phy.reachability` rely on the bound.
+DERIVED_SIGMA_CLAMP = 4.0
+
+
 class LinkModel:
     """Computes received power and SNR between node pairs.
 
     The per-link static shadowing draw is symmetric (links are reciprocal)
     and cached, so RSSI estimates the monitoring system reports are stable
-    over time up to the optional fast-fading term.
+    over time up to the optional fast-fading term.  Shadowing (and, when a
+    ``fading_key`` is supplied, fast fading) is derived by hashing the link
+    identity against a seed taken from ``rng`` at construction, so values
+    are independent of the order links are first evaluated in.
     """
 
     def __init__(self, params: PathLossParams, rng: random.Random) -> None:
         self._params = params
         self._rng = rng
+        # One draw from the caller's stream seeds every derived value; the
+        # per-link/per-frame draws themselves never touch shared RNG state.
+        self._seed = rng.getrandbits(64)
         self._shadowing: Dict[Tuple[int, int], float] = {}
         # Extra per-link attenuation injected at runtime (fault injection:
         # new obstacle, antenna damage, seasonal foliage).
         self._extra_attenuation: Dict[Tuple[int, int], float] = {}
+        self._change_listeners: List[Callable[[int, int], None]] = []
 
     @property
     def params(self) -> PathLossParams:
         return self._params
 
+    @property
+    def shadowing_bound_db(self) -> float:
+        """Largest magnitude a derived shadowing draw can take (±4σ clamp)."""
+        return DERIVED_SIGMA_CLAMP * self._params.shadowing_sigma_db
+
+    @property
+    def fading_bound_db(self) -> float:
+        """Largest magnitude a derived fast-fading draw can take (±4σ clamp)."""
+        return DERIVED_SIGMA_CLAMP * self._params.fast_fading_sigma_db
+
+    def subscribe_changes(self, listener: Callable[[int, int], None]) -> None:
+        """Register a callback fired with ``(a, b)`` when a link's injected
+        attenuation changes (reachability indexes use this to invalidate)."""
+        self._change_listeners.append(listener)
+
     def _link_key(self, a: int, b: int) -> Tuple[int, int]:
         return (a, b) if a <= b else (b, a)
+
+    def _derived_gauss(self, label: str, key: object, sigma: float) -> float:
+        """Counter-based N(0, sigma) draw, clamped to ±4σ.
+
+        Deterministic in ``(model seed, label, key)`` alone: evaluation
+        order and which other links were ever evaluated do not matter.
+        """
+        digest = hashlib.sha256(
+            f"{self._seed}:{label}:{key}".encode("utf-8")
+        ).digest()
+        value = random.Random(int.from_bytes(digest[:8], "big")).gauss(0.0, sigma)
+        bound = DERIVED_SIGMA_CLAMP * sigma
+        return max(-bound, min(bound, value))
 
     def _static_shadowing_db(self, a: int, b: int) -> float:
         key = self._link_key(a, b)
         existing = self._shadowing.get(key)
         if existing is not None:
             return existing
-        value = self._rng.gauss(0.0, self._params.shadowing_sigma_db)
+        value = self._derived_gauss("shadow", key, self._params.shadowing_sigma_db)
         self._shadowing[key] = value
         return value
+
+    def fading_db(self, a: int, b: int, fading_key: int) -> float:
+        """Per-frame fast-fading term for one link, derived from the frame
+        identity (e.g. the channel's ``tx_id``) so it is reproducible no
+        matter which receivers were actually evaluated."""
+        if self._params.fast_fading_sigma_db <= 0:
+            return 0.0
+        return self._derived_gauss(
+            "fade", (self._link_key(a, b), fading_key), self._params.fast_fading_sigma_db
+        )
 
     def path_loss_db(self, distance_m: float, a: Optional[int] = None, b: Optional[int] = None) -> float:
         """Path loss in dB at ``distance_m``, including static shadowing when
@@ -163,6 +228,8 @@ class LinkModel:
             self._extra_attenuation.pop(key, None)
         else:
             self._extra_attenuation[key] = extra_db
+        for listener in self._change_listeners:
+            listener(a, b)
 
     def link_attenuation(self, a: int, b: int) -> float:
         """Currently injected extra attenuation on the (a, b) link."""
@@ -175,11 +242,20 @@ class LinkModel:
         a: Optional[int] = None,
         b: Optional[int] = None,
         with_fading: bool = True,
+        fading_key: Optional[int] = None,
     ) -> float:
-        """Received signal strength in dBm for one transmission."""
+        """Received signal strength in dBm for one transmission.
+
+        With ``fading_key`` (and node addresses) the fast-fading term is the
+        derived, order-independent draw; without it the legacy sequential
+        draw from the model's stream is kept for backwards compatibility.
+        """
         rssi = tx_power_dbm - self.path_loss_db(distance_m, a, b)
         if with_fading and self._params.fast_fading_sigma_db > 0:
-            rssi += self._rng.gauss(0.0, self._params.fast_fading_sigma_db)
+            if fading_key is not None and a is not None and b is not None:
+                rssi += self.fading_db(a, b, fading_key)
+            else:
+                rssi += self._rng.gauss(0.0, self._params.fast_fading_sigma_db)
         return rssi
 
     def snr_db(self, rssi_dbm: float, bandwidth_hz: int) -> float:

@@ -59,7 +59,9 @@ class GroundTruth:
         elif kind == "phy.collision":
             self.phy_collisions += 1
         elif kind == "phy.below_sensitivity":
-            self.phy_below_sensitivity += 1
+            # Aggregated events (node=None) carry how many receivers they
+            # stand for; per-node events count as one each.
+            self.phy_below_sensitivity += int(data.get("count", 1))
         elif kind == "mesh.frag_origin":
             if self._wrong_type(data):
                 return

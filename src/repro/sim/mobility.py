@@ -10,11 +10,12 @@ and vanish.  This module animates a subset of nodes over the topology:
 * :class:`ConstantVelocityMobility` — straight-line motion with bouncing
   at the area edges (vehicles on a corridor).
 
-Positions are updated in place on the shared :class:`~repro.sim.topology.Topology`
-every ``update_interval_s``; the channel computes distances at transmit
-time, so all in-flight physics immediately reflect the movement.  The
-per-link static shadowing draw stays attached to the node *pair* (an
-approximation — strictly it should decorrelate with distance travelled).
+Positions are updated through :meth:`~repro.sim.topology.Topology.move`
+every ``update_interval_s``, which notifies geometry observers (the
+channel's link-budget cache and reachability index), so all in-flight
+physics immediately reflect the movement.  The per-link static shadowing
+draw stays attached to the node *pair* (an approximation — strictly it
+should decorrelate with distance travelled).
 """
 
 from __future__ import annotations
@@ -137,7 +138,7 @@ class RandomWaypointMobility:
                 new_position = (x + (wx - x) * fraction, y + (wy - y) * fraction)
                 moved = step
             state.position = new_position
-            self._topology.positions[node] = new_position
+            self._topology.move(node, new_position)
             self.total_distance_m[node] += moved
             if self._trace is not None and moved > 0:
                 self._trace.emit(
@@ -207,4 +208,4 @@ class ConstantVelocityMobility:
                 y, vy = 2 * self._area_m - y, -vy
             state.position = (x, y)
             state.velocity = (vx, vy)
-            self._topology.positions[node] = (x, y)
+            self._topology.move(node, (x, y))

@@ -9,9 +9,10 @@ line (road/river deployment).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import RngRegistry
@@ -26,19 +27,111 @@ class Placement(str, Enum):
     LINE = "line"
 
 
+#: Callback fired when a node's position changes (``None`` = bulk change).
+TopologyListener = Callable[[Optional[int]], None]
+
+
+class _PositionMap(Dict[int, Tuple[float, float]]):
+    """Position dict that reports mutations back to its :class:`Topology`.
+
+    Spatial indexes (:mod:`repro.phy.reachability`) cache geometry derived
+    from these positions; a silent in-place write would leave them stale.
+    The supported mutation API is :meth:`Topology.move`; writing through
+    the mapping still works but carries a :class:`DeprecationWarning` and
+    notifies observers all the same, so legacy mobility code stays correct.
+    """
+
+    _owner: Optional["Topology"]
+
+    def _notify(self, node: Optional[int]) -> None:
+        owner = getattr(self, "_owner", None)
+        if owner is not None:
+            owner._on_position_change(node)
+
+    def __setitem__(self, node: int, position: Tuple[float, float]) -> None:
+        warnings.warn(
+            "assigning Topology.positions[node] directly is deprecated; "
+            "use Topology.move(node, position) so spatial indexes see the change",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        dict.__setitem__(self, node, position)
+        self._notify(node)
+
+    def __delitem__(self, node: int) -> None:
+        dict.__delitem__(self, node)
+        self._notify(None)
+
+    def update(self, *args: object, **kwargs: Tuple[float, float]) -> None:  # type: ignore[override]
+        dict.update(self, *args, **kwargs)  # type: ignore[arg-type]
+        self._notify(None)
+
+    def pop(self, *args: object) -> Tuple[float, float]:  # type: ignore[override]
+        value = dict.pop(self, *args)  # type: ignore[arg-type]
+        self._notify(None)
+        return value  # type: ignore[return-value]
+
+    def clear(self) -> None:
+        dict.clear(self)
+        self._notify(None)
+
+
 @dataclass(frozen=True)
 class Topology:
     """A set of node positions.
 
     Attributes:
         positions: mapping from node address to (x, y) in metres.
+
+    Positions may change over a run (mobility); consumers that cache
+    anything derived from geometry should :meth:`subscribe` for
+    invalidation or compare :attr:`version`.  The supported mutation API
+    is :meth:`move`.
     """
 
     positions: Dict[int, Tuple[float, float]]
+    _version: List[int] = field(
+        default_factory=lambda: [0], repr=False, compare=False
+    )
+    _listeners: List[TopologyListener] = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        # Wrap the caller's dict so direct writes are still observed.
+        wrapped = _PositionMap(self.positions)
+        wrapped._owner = self
+        object.__setattr__(self, "positions", wrapped)
 
     @property
     def size(self) -> int:
         return len(self.positions)
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every position change."""
+        return self._version[0]
+
+    def subscribe(self, listener: TopologyListener) -> None:
+        """Register a callback fired with the moved node's address (or
+        ``None`` for bulk/structural changes) after every mutation."""
+        self._listeners.append(listener)
+
+    def move(self, node: int, position: Tuple[float, float]) -> None:
+        """Move ``node`` to ``position``, notifying geometry observers.
+
+        Raises:
+            ConfigurationError: if the node is not in the topology.
+        """
+        if node not in self.positions:
+            raise ConfigurationError(f"node {node} is not in the topology")
+        dict.__setitem__(self.positions, node, position)
+        self._on_position_change(node)
+
+    def _on_position_change(self, node: Optional[int]) -> None:
+        self._version[0] += 1
+        for listener in self._listeners:
+            listener(node)
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance in metres between nodes ``a`` and ``b``."""

@@ -13,7 +13,7 @@ from repro.scenario.config import ScenarioConfig, WorkloadSpec
 from repro.scenario.runner import Scenario
 
 CONFIG = ScenarioConfig(
-    seed=31,
+    seed=41,
     n_nodes=9,
     spreading_factor=9,
     warmup_s=900.0,
@@ -106,8 +106,12 @@ class TestAnomalyOnTelemetry:
                     payload=b"x" * 200, next_hop=BROADCAST, prev_hop=2, ttl=1,
                 ))
 
-        sim.call_in(1.0, stuff_queue)
-        sim.run(until=sim.now + 130.0)
+        # Sustain the congestion across a full report interval so a status
+        # snapshot is guaranteed to observe a deep queue regardless of the
+        # client's report phase.
+        for offset in range(0, 120, 15):
+            sim.call_in(1.0 + offset, stuff_queue)
+        sim.run(until=sim.now + 250.0)
         series = scenario.store.status_series(2, ["queue_depth"])
         anomalies = detect_anomalies(series, "queue_depth", window=5, threshold=3.0)
         assert anomalies

@@ -1,0 +1,82 @@
+"""The ``repro.bench/1`` artifact envelope: writer and validator.
+
+Every committed ``BENCH_*.json`` at the repo root must carry the shared
+envelope (schema name, bench id, code version, host facts, results) so
+the perf-trajectory files cannot silently drift as benches evolve.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+
+from benchmarks.common import BENCH_SCHEMA, BenchReport, validate_bench_report
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_writer_emits_valid_envelope(tmp_path):
+    path = tmp_path / "BENCH_test.json"
+    payload = BenchReport(
+        bench="T0", title="writer smoke", results={"value": 1}
+    ).write(path)
+    assert validate_bench_report(payload) == []
+    on_disk = json.loads(path.read_text())
+    assert on_disk == payload
+    assert on_disk["schema"] == BENCH_SCHEMA
+    assert on_disk["code_version"] == __version__
+    assert on_disk["host"]["cpu_count"] >= 1
+    # Stable serialisation: trailing newline, sorted keys.
+    assert path.read_text().endswith("\n")
+    assert list(on_disk) == sorted(on_disk)
+
+
+def test_extra_fields_land_at_top_level(tmp_path):
+    payload = BenchReport(
+        bench="T0",
+        title="extras",
+        results={"value": 1},
+        extra={"guardrail": 5.0},
+    ).write(tmp_path / "BENCH_test.json")
+    assert payload["guardrail"] == 5.0
+    assert validate_bench_report(payload) == []
+
+
+def test_writer_refuses_invalid_payload(tmp_path):
+    with pytest.raises(ValueError):
+        BenchReport(bench="T0", title="empty", results={}).write(
+            tmp_path / "BENCH_bad.json"
+        )
+
+
+@pytest.mark.parametrize(
+    "mutation, expected_fragment",
+    [
+        (lambda p: p.pop("schema"), "missing required key 'schema'"),
+        (lambda p: p.update(schema="repro.bench/0"), "expected 'repro.bench/1'"),
+        (lambda p: p.update(results=[]), "'results' is list"),
+        (lambda p: p.update(results={}), "results is empty"),
+        (lambda p: p["host"].pop("cpu_count"), "host missing 'cpu_count'"),
+        (lambda p: p["host"].update(python=3.11), "host['python'] is float"),
+    ],
+)
+def test_validator_rejects_drift(mutation, expected_fragment):
+    payload = BenchReport(bench="T0", title="t", results={"value": 1}).envelope()
+    mutation(payload)
+    errors = validate_bench_report(payload)
+    assert any(expected_fragment in error for error in errors), errors
+
+
+def test_validator_rejects_non_mapping():
+    assert validate_bench_report([1, 2]) != []
+    assert validate_bench_report(None) != []
+
+
+def test_all_committed_artifacts_are_valid():
+    artifacts = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    assert artifacts, "no BENCH_*.json artifacts found at the repo root"
+    for path in artifacts:
+        payload = json.loads(path.read_text())
+        assert validate_bench_report(payload) == [], f"{path.name} drifted"

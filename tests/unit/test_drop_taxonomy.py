@@ -143,13 +143,13 @@ def test_lossy_scenario_has_no_unknown_verdicts():
         seed=11,
         n_nodes=20,
         environment=Environment.URBAN,
-        tx_power_dbm=8.0,
+        tx_power_dbm=6.0,
         warmup_s=600.0,
         duration_s=600.0,
         cooldown_s=30.0,
         capture_trace=True,
         workload=WorkloadSpec(
-            kind="poisson", rate_per_s=0.05, payload_bytes=24, pattern="random_pairs"
+            kind="poisson", rate_per_s=0.3, payload_bytes=24, pattern="random_pairs"
         ),
     )
     with run_scenario(config) as result:

@@ -15,7 +15,7 @@ from repro.scenario.runner import Scenario
 
 def build_scenario(**overrides):
     defaults = dict(
-        seed=33,
+        seed=29,
         n_nodes=9,
         spreading_factor=7,
         warmup_s=600.0,
@@ -143,7 +143,7 @@ class TestFaultExecution:
         assert any("battery" in message for _, message in schedule.log)
 
     def test_degraded_link_visible_in_telemetry(self):
-        # The 1<->2 link in this seed has ~2.8 dB margin above the SF7
+        # The 1<->2 link in this seed has ~2.9 dB margin above the SF7
         # sensitivity, so a mild 2 dB degradation keeps it alive but
         # shifts its reported RSSI.
         scenario = build_scenario()

@@ -138,6 +138,25 @@ class TestRL001WallClock:
             )
             assert rule_ids(violations) == ["RL001"], module
 
+    def test_phy_hot_path_modules_sim_scoped(self, tmp_path):
+        # The spatial-index hot path (reachability, channel) is pure
+        # simulation: wall-clock or shared-RNG drift there would break
+        # the grid-equals-brute-force trace-identity contract, so both
+        # RL001 and RL003 apply.
+        for module in ("reachability", "channel"):
+            violations = lint_source(
+                tmp_path,
+                f"repro/phy/{module}.py",
+                """
+                import time
+
+                def check(loss):
+                    started = time.monotonic()
+                    return loss == 0.0
+                """,
+            )
+            assert rule_ids(violations) == ["RL001", "RL003"], module
+
     def test_obs_ndjson_and_cli_exempt(self, tmp_path):
         # The NDJSON writer and repro-trace CLI are operator-side I/O.
         for module in ("ndjson", "cli"):
