@@ -20,13 +20,16 @@ transmission overlaps an incoming frame never receives it.
 
 Hot-path structure (see ``docs/ARCHITECTURE.md``, "PHY hot path"): RSSI is
 computed lazily per (frame, receiver) on first use, backed by the shared
-:class:`~repro.phy.reachability.LinkBudgetCache`; overlap queries go
-through a slot map keyed by coarse time buckets instead of scanning every
-active/recent frame; recently finished frames are pruned incrementally
-from a deque.  Because the link model's randomness is counter-based and
-bounded (:mod:`repro.phy.link`), the produced trace stream is identical
-whichever reachability index is plugged in — the brute-force index remains
-available as the reference oracle.
+:class:`~repro.phy.reachability.LinkBudgetCache`, and the memo is guarded
+by a geometry epoch (bumped on every topology move and injected
+attenuation change) so a cached value never outlives the geometry it was
+computed under; overlap queries go through a slot map keyed by coarse
+time buckets instead of scanning every active/recent frame; recently
+finished frames are pruned incrementally from a deque.  Because the link
+model's randomness is counter-based and bounded (:mod:`repro.phy.link`),
+the produced trace stream is identical whichever reachability index is
+plugged in — the brute-force index remains available as the reference
+oracle.
 """
 
 from __future__ import annotations
@@ -120,6 +123,13 @@ class Transmission:
     end: float
     #: RSSI of this frame per node, filled in on demand.
     rssi_at: Dict[int, float] = field(default_factory=dict)
+    #: Channel geometry epoch each ``rssi_at`` entry was computed under.
+    #: Which (frame, node) pairs get memoised — and when — depends on the
+    #: plugged-in reachability index and trace mode, so an entry that
+    #: survived a topology/attenuation change would freeze pre-change
+    #: geometry in one index flavour but not the other; the channel
+    #: recomputes on epoch mismatch to keep the flavours event-identical.
+    rssi_epoch: Dict[int, int] = field(default_factory=dict)
     #: Attached nodes that were listening (radio in RX, not transmitting)
     #: at start.  Sampled over every attached node, not just the sender's
     #: candidate set: reception is decided against frame-*end* geometry, so
@@ -184,6 +194,11 @@ class Channel:
             reachability if reachability is not None else GridReachabilityIndex()
         )
         self._reachability.bind(topology, link_model, self._budget, self.CAD_MARGIN_DB)
+        #: Bumped on every position move / injected-attenuation change;
+        #: guards the per-frame RSSI memo (see :class:`Transmission`).
+        self._geometry_epoch = 0
+        topology.subscribe(self._on_geometry_change)
+        link_model.subscribe_changes(self._on_attenuation_change)
         mode = self._config.sub_sensitivity_trace
         if mode == "auto":
             self._per_node_trace = (
@@ -266,11 +281,12 @@ class Channel:
                 return True
             if address not in self._reachability.candidates(tx.sender, tx.params):
                 continue
-            rssi = tx.rssi_at.get(address)
-            if rssi is None:
-                # Peek without caching: whether this path runs can depend on
-                # the index flavour, and a cached value would freeze the
-                # pre-mobility geometry in one flavour but not the other.
+            if tx.rssi_epoch.get(address) == self._geometry_epoch:
+                rssi = tx.rssi_at[address]
+            else:
+                # Peek without caching: whether this path runs at all can
+                # depend on the index flavour, and filling the memo here
+                # would make its fill pattern flavour-dependent.
                 rssi = self._compute_rssi(tx, address)
             if rssi >= sensitivity_dbm(tx.params) - self.CAD_MARGIN_DB:
                 return True
@@ -356,11 +372,26 @@ class Channel:
         )
 
     def _rssi(self, tx: Transmission, node: int) -> float:
-        rssi = tx.rssi_at.get(node)
-        if rssi is None:
-            rssi = self._compute_rssi(tx, node)
-            tx.rssi_at[node] = rssi
+        """Memoised RSSI of ``tx`` at ``node`` under *current* geometry.
+
+        Entries computed under an older geometry epoch are recomputed, so
+        the value returned is always a pure function of (frame, node,
+        current geometry) — independent of which index flavour happened
+        to fill the memo earlier, or when.
+        """
+        epoch = self._geometry_epoch
+        if tx.rssi_epoch.get(node) == epoch:
+            return tx.rssi_at[node]
+        rssi = self._compute_rssi(tx, node)
+        tx.rssi_at[node] = rssi
+        tx.rssi_epoch[node] = epoch
         return rssi
+
+    def _on_geometry_change(self, node: Optional[int]) -> None:
+        self._geometry_epoch += 1
+
+    def _on_attenuation_change(self, a: int, b: int) -> None:
+        self._geometry_epoch += 1
 
     # -- overlap bookkeeping -------------------------------------------------
 
@@ -422,6 +453,15 @@ class Channel:
         horizon = self._sim.now - self._config.recent_horizon_s
         while self._recent and self._recent[0].end < horizon:
             self._unregister_slots(self._recent.popleft())
+        # Prune the sender's half-duplex deque here too: _own_tx_overlaps
+        # only prunes when the node is evaluated as a receiver, and a
+        # node that transmits but is rarely eligible to receive (out of
+        # everyone's range, or culled in aggregate mode) would otherwise
+        # accumulate every frame it ever sent.
+        sender_frames = self._by_sender.get(tx.sender)
+        if sender_frames:
+            while sender_frames and sender_frames[0].end < horizon:
+                sender_frames.popleft()
 
         overlapping = self._overlapping(tx)
         candidates = self._reachability.candidates(tx.sender, tx.params)

@@ -266,7 +266,11 @@ class BruteForceReachability(_BoundIndex):
         return all_nodes
 
     def _on_invalidate(self, node: Optional[int]) -> None:
-        if node is None:  # structural change may have added/removed nodes
+        # None is always structural, but a node-addressed notification can
+        # be structural too: the deprecated ``positions[new] = xy`` write
+        # path notifies with the *new* node's id.  Anything not already in
+        # the cached set means the set is stale.
+        if node is None or (self._all is not None and node not in self._all):
             self._all = None
 
 

@@ -191,6 +191,49 @@ def test_aggregate_counts_match_per_node_events(positions, seed, txs):
     assert per_node_below == aggregate_below
 
 
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_midflight_move_with_overlapping_frames_is_flavour_identical(seed):
+    """Regression (REVIEW): the per-frame RSSI memo must not outlive a
+    topology change.
+
+    A short frame completing while a long frame is still on air memoises
+    RSSI at a node set that *differs* between index flavours (brute force
+    walks every node; the grid walks only the short frame's candidates).
+    A node move between the two completions then had the brute-force
+    oracle deliver the long frame against stale pre-move RSSI while the
+    grid index computed fresh post-move values — different verdicts for
+    the same scenario.  With the geometry-epoch guard both flavours
+    re-evaluate against frame-end geometry and stay event-identical.
+
+    Layout: node 1 sends a long frame to node 2 (40 m away); node 3,
+    50 km out, sends a short overlapping frame (hopeless at everyone,
+    so the grid culls all receivers while brute force still walks and
+    memoises them); mid-flight, node 3 moves to 1 m from node 2, turning
+    its just-finished frame into a lethal interferer.
+    """
+    nodes = [1, 2, 3]
+    positions = [(0.0, 0.0), (40.0, 0.0), (50_000.0, 0.0)]
+    txs = [(0.0, 0, 255, 9), (0.2, 2, 8, 9)]
+    move_list = [(0.8, 2, (41.0, 0.0), False)]
+    grid_stream, grid_rx = run_flavour(
+        GridReachabilityIndex(), "aggregate", nodes, positions, seed, txs, move_list, []
+    )
+    brute_stream, brute_rx = run_flavour(
+        BruteForceReachability(), "aggregate", nodes, positions, seed, txs, move_list, []
+    )
+    assert grid_stream == brute_stream
+    assert grid_rx == brute_rx
+    # The verdict must reflect *post-move* geometry: the relocated
+    # sender's frame collides with the long frame at node 2 (the stale
+    # pre-move memo would have let it through as a clean phy.rx).
+    verdicts = [
+        kind
+        for _, kind, node, data in grid_stream
+        if node == 2 and kind in ("phy.rx", "phy.collision") and dict(data)["tx_id"] == 1
+    ]
+    assert verdicts == ["phy.collision"]
+
+
 def test_direct_position_write_warns_and_invalidates():
     """The legacy mutation path still works — with a DeprecationWarning —
     and the spatial index observes it."""

@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.phy.channel import Channel
+from repro.phy.channel import Channel, ChannelConfig
 from repro.phy.link import LinkModel, PathLossParams
 from repro.phy.params import LoRaParams
 from repro.sim.engine import Simulator
@@ -146,6 +146,69 @@ class TestBusySense:
         _, channel, _, params = make_world({1: (0, 0), 2: (100, 0)})
         channel.transmit(1, params, "x", 200)
         assert channel.is_busy(1)
+
+
+class TestGeometryEpoch:
+    """The lazy per-frame RSSI memo must never outlive the geometry it
+    was computed under (REVIEW: stale memos made the index flavours
+    diverge under mid-flight mobility)."""
+
+    def test_rssi_memo_invalidated_by_midflight_move(self):
+        sim, channel, trace, params = make_world({1: (0, 0), 2: (100, 0)})
+        rx = Receiver(channel, 2)
+        tx = channel.transmit(1, params, "x", 20)
+        # Simulate an earlier overlapping frame's completion having
+        # memoised this frame's RSSI under pre-move geometry.
+        channel._rssi(tx, 2)
+        channel.topology.move(2, (80_000.0, 0.0))
+        sim.run()
+        # Reception is decided against frame-end geometry: 80 km out is
+        # hopeless, however strong the memoised pre-move value was.
+        assert rx.received == []
+        assert trace.count("phy.below_sensitivity") == 1
+
+    def test_rssi_memo_invalidated_by_attenuation_change(self):
+        sim, channel, trace, params = make_world({1: (0, 0), 2: (100, 0)})
+        rx = Receiver(channel, 2)
+        tx = channel.transmit(1, params, "x", 20)
+        channel._rssi(tx, 2)
+        channel.link_model.set_link_attenuation(1, 2, 200.0)
+        sim.run()
+        assert rx.received == []
+        assert trace.count("phy.below_sensitivity") == 1
+
+    def test_rssi_memo_reused_when_geometry_unchanged(self):
+        sim, channel, trace, params = make_world({1: (0, 0), 2: (100, 0)})
+        rx = Receiver(channel, 2)
+        tx = channel.transmit(1, params, "x", 20)
+        first = channel._rssi(tx, 2)
+        assert channel._rssi(tx, 2) == first
+        sim.run()
+        assert len(rx.received) == 1
+        assert rx.received[0].rssi_dbm == first
+
+
+class TestBookkeepingBounds:
+    def test_sender_deque_pruned_without_receiver_evaluation(self):
+        """A node that transmits but is never eligible to receive (out of
+        everyone's range) must not accumulate its sent frames forever
+        (REVIEW: _by_sender was only pruned inside _own_tx_overlaps)."""
+        sim = Simulator()
+        topology = Topology(positions={1: (0.0, 0.0), 2: (50_000.0, 0.0)})
+        link_model = LinkModel(PathLossParams(shadowing_sigma_db=0.0), random.Random(1))
+        channel = Channel(
+            sim, topology, link_model, config=ChannelConfig(recent_horizon_s=5.0)
+        )
+        Receiver(channel, 2)
+        params = LoRaParams(spreading_factor=7)
+        for i in range(40):
+            sim.call_at(
+                float(i * 10), lambda: channel.transmit(1, params, "x", 8)
+            )
+        sim.run()
+        # Frames are 10 s apart with a 5 s horizon: at each completion all
+        # previous frames have expired, so only the latest one survives.
+        assert len(channel._by_sender[1]) <= 1
 
 
 class TestAttachment:

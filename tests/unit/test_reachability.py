@@ -93,6 +93,27 @@ class TestBruteForceReachability:
         assert stats["rebuilds"] == 1
         assert stats["hits"] == 1
 
+    def test_new_node_via_deprecated_write_joins_candidates(self):
+        """Adding a brand-new node through the deprecated direct
+        ``positions[new] = xy`` shim notifies with that node's id, not
+        ``None``; the oracle must still drop its cached all-nodes set
+        (REVIEW: it previously only reset on ``None``)."""
+        index = BruteForceReachability()
+        topology, _, _ = bound_index(index, {1: (0.0, 0.0), 2: (100.0, 0.0)})
+        assert index.candidates(1, PARAMS) == {1, 2}
+        with pytest.warns(DeprecationWarning):
+            topology.positions[3] = (50.0, 0.0)
+        assert index.candidates(1, PARAMS) == {1, 2, 3}
+
+    def test_known_node_move_keeps_cached_set(self):
+        index = BruteForceReachability()
+        topology, _, _ = bound_index(index, {1: (0.0, 0.0), 2: (100.0, 0.0)})
+        assert index.candidates(1, PARAMS) == {1, 2}
+        topology.move(2, (200.0, 0.0))
+        index.candidates(1, PARAMS)
+        # Membership did not change, so the frozenset is served from cache.
+        assert index.stats()["rebuilds"] == 1
+
     def test_unbound_index_raises(self):
         with pytest.raises(ConfigurationError):
             BruteForceReachability().candidates(1, PARAMS)
